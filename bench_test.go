@@ -1,0 +1,177 @@
+// Package repro's root benches regenerate every table and figure of the
+// FedKNOW paper at CI scale (testing.B reports ns/op for one full experiment
+// regeneration; key result quantities are attached via b.ReportMetric).
+//
+// Coverage notes: each artefact has one benchmark. Where the full CI sweep
+// is still minutes long on CPU (Fig. 4's eight panels, Table I's five
+// datasets, Fig. 9's nine DNNs), the benchmark runs a representative subset
+// and `cmd/fedknow-bench -exp <id>` regenerates the complete artefact.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+)
+
+// keepWord maps label characters to a metric-safe alphabet (ReportMetric
+// rejects whitespace).
+func keepWord(r rune) rune {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '%':
+		return r
+	default:
+		return '-'
+	}
+}
+
+// benchOpts shrinks rounds/clients so a full experiment regeneration fits in
+// a benchmark iteration.
+func benchOpts(seed uint64) experiments.Options {
+	return experiments.Options{
+		Scale: data.CI,
+		Seed:  seed,
+		Tune: func(rt *experiments.Runtime) {
+			rt.Rounds = 1
+			rt.LocalIters = 2
+			rt.Clients = 3
+		},
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4: accuracy-vs-time curves. Panel (a) is
+// the 20-Jetson CIFAR100 comparison of all 12 methods; panel (d) is the
+// 30-device heterogeneous comparison.
+func BenchmarkFig4(b *testing.B) {
+	for _, panel := range []string{"a", "d"} {
+		b.Run("panel="+panel, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fig4(panel, benchOpts(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fk := res.Raw["FedKNOW"]
+				last := fk.PerTask[len(fk.PerTask)-1]
+				b.ReportMetric(last.AvgAccuracy, "fedknow-acc")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (average % accuracy improvement of
+// FedKNOW over the mean of the 11 baselines) on CIFAR100.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchOpts(2), []data.Family{data.CIFAR100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanImprovement("CIFAR100"), "mean-improvement-pct")
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (total communication volume, FedKNOW vs
+// FedWEIT) on two workloads.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchOpts(3), []data.Family{data.CIFAR100, data.FC100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanReduction()*100, "comm-reduction-pct")
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (communication time across the
+// 50 KB/s–10 MB/s bandwidth sweep for 6CNN and ResNet-18).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchOpts(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline point: ResNet-18 at the slowest link.
+		b.ReportMetric(res.Hours["ResNet18"]["FedWEIT"][0]-res.Hours["ResNet18"]["FedKNOW"][0],
+			"hours-saved-at-50KBps")
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (accuracy and forgetting over the merged
+// many-task workload).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchOpts(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Forgetting {
+			if s.Label == "FedKNOW" {
+				b.ReportMetric(s.Y[len(s.Y)-1], "fedknow-final-forgetting")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (accuracy and forgetting at two cluster
+// scales).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchOpts(6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Accuracy[len(res.Accuracy)-1]
+		for _, s := range last {
+			if len(s.Y) > 0 {
+				// Metric units must not contain whitespace.
+				b.ReportMetric(s.Y[len(s.Y)-1], "acc-"+strings.ReplaceAll(strings.Map(keepWord, s.Label), "--", "-"))
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (applicability across DNN categories):
+// one representative model per category family here; all nine via
+// `fedknow-bench -exp fig9`.
+func BenchmarkFig9(b *testing.B) {
+	models := []string{"SENet18", "MobileNetV2", "DenseNet"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchOpts(7), models)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range models {
+			b.ReportMetric(res.FinalAccuracy(m, "FedKNOW"), "fedknow-acc-"+m)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (the knowledge-retention parameter
+// study: GEM 10–100 % samples, FedWEIT all-vs-own, FedKNOW ρ 5–20 %).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchOpts(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Accuracy["FedKNOW-10%"], "fedknow-rho10-acc")
+		b.ReportMetric(res.Hours["GEM-100%"], "gem100-hours")
+	}
+}
+
+// BenchmarkAblation quantifies each FedKNOW component's contribution
+// (DESIGN.md's ablation call-out): full vs no-integrator vs no-global-guard
+// vs no-finetune.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(benchOpts(9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range res.Variants {
+			b.ReportMetric(res.Accuracy[v], "acc-"+v)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command fedknow-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fedknow-bench -exp fig4a -scale ci
+//	fedknow-bench -exp table1 -scale full
+//	fedknow-bench -exp all
+//
+// Experiments: fig4a–fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10,
+// hyper, all. Scale "ci" (default) runs the laptop-sized configuration;
+// "full" mirrors the paper's client/round counts and takes hours on CPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, all)")
+	scale := flag.String("scale", "ci", "ci or full")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var sc data.Scale
+	switch *scale {
+	case "ci":
+		sc = data.CI
+	case "full":
+		sc = data.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	opt := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig4g", "fig4h",
+			"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "hyper"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("\n### running %s (scale=%s)\n", id, sc)
+		var err error
+		switch {
+		case strings.HasPrefix(id, "fig4"):
+			_, err = experiments.Fig4(strings.TrimPrefix(id, "fig4"), opt)
+		case id == "table1":
+			_, err = experiments.Table1(opt, nil)
+		case id == "fig5":
+			_, err = experiments.Fig5(opt, nil)
+		case id == "fig6":
+			_, err = experiments.Fig6(opt)
+		case id == "fig7":
+			_, err = experiments.Fig7(opt)
+		case id == "fig8":
+			_, err = experiments.Fig8(opt)
+		case id == "fig9":
+			_, err = experiments.Fig9(opt, nil)
+		case id == "fig10":
+			_, err = experiments.Fig10(opt)
+		case id == "ablation":
+			_, err = experiments.Ablation(opt)
+		case id == "hyper":
+			_, err = experiments.HyperSearch("FedKNOW", opt)
+		default:
+			err = fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: run FedKNOW on a small federated continual-learning job and
+// inspect what it retains.
+//
+// Four clients share a CIFAR100-style synthetic benchmark split into 10
+// tasks; each client sees a non-IID shard (2–3 classes per task). The demo
+// prints accuracy and forgetting after every task, then shows the sparse
+// knowledge FedKNOW kept per task.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/fed"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// 1. Data: synthetic CIFAR100 stand-in at CI scale, 10 tasks.
+	ds, tasks := data.CIFAR100.Build(data.CI, 42)
+	seqs := data.Federate(tasks, 4, data.CIAlloc(43))
+
+	// 2. Engine configuration: 2 aggregation rounds of 3 local iterations
+	// per task, FedAvg aggregation, 1 MB/s links.
+	cfg := fed.Config{
+		Method: "FedKNOW", Rounds: 2, LocalIters: 3, BatchSize: 8,
+		LR: 0.02, LRDecay: 1e-4, NumClasses: ds.NumClasses,
+		Bandwidth: 1024 * 1024, Seed: 42,
+	}
+	build := func(rng *tensor.RNG) *model.Model {
+		return model.MustBuild("SixCNN", ds.NumClasses, ds.C, ds.H, ds.W, 1, rng)
+	}
+
+	// 3. FedKNOW options: retain 10 % of weights per task, integrate the 3
+	// most dissimilar signature tasks per step.
+	opts := core.Options{Rho: 0.10, K: 3, FinetuneIters: 1, SelectEvery: 3}
+	var firstClient *core.FedKNOW
+	factory := func(ctx *fed.ClientCtx) fed.Strategy {
+		s := core.New(ctx, opts)
+		if ctx.ID == 0 {
+			firstClient = s
+		}
+		return s
+	}
+
+	engine := fed.NewEngine(cfg, device.Jetson20(), seqs, build, factory)
+	res := engine.Run()
+
+	fmt.Println("task  avg-accuracy  forgetting  sim-hours")
+	for _, tp := range res.PerTask {
+		fmt.Printf("%4d  %12.4f  %10.4f  %9.4f\n",
+			tp.TaskIdx+1, tp.AvgAccuracy, tp.ForgettingRate, tp.SimHours)
+	}
+
+	fmt.Println("\nsignature knowledge retained by client 0:")
+	for _, k := range firstClient.Knowledge() {
+		fmt.Printf("  task %2d: %5d weights (%d bytes), classes %v\n",
+			k.TaskID, k.Store.Len(), k.Store.Bytes(), k.Classes)
+	}
+}

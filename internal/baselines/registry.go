@@ -1,0 +1,27 @@
+package baselines
+
+import "repro/internal/fed"
+
+// Registry maps method names to strategy factories for the 11 baselines.
+// FedKNOW itself lives in internal/core; experiments merge the two.
+var Registry = map[string]fed.Factory{
+	"FedAvg":  NewFedAvg,
+	"APFL":    NewAPFL,
+	"FedRep":  NewFedRep,
+	"EWC":     NewEWC,
+	"MAS":     NewMAS,
+	"AGS-CL":  NewAGSCL,
+	"GEM":     NewGEM,
+	"BCN":     NewBCN,
+	"Co2L":    NewCo2L,
+	"FLCN":    NewFLCN,
+	"FedWEIT": NewFedWEIT,
+}
+
+// Names lists the baselines in the paper's presentation order (continual
+// learning, federated learning, federated continual learning).
+var Names = []string{
+	"GEM", "BCN", "Co2L", "EWC", "MAS", "AGS-CL",
+	"FedAvg", "APFL", "FedRep",
+	"FLCN", "FedWEIT",
+}

@@ -1,0 +1,131 @@
+// Package checkpoint serialises model parameters and FedKNOW knowledge
+// stores so edge clients can persist state across restarts (the deployment
+// concern behind the paper's on-device design: a client must survive a
+// reboot without re-learning its task history). The format is a small
+// self-describing little-endian binary layout built on encoding/binary.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/prune"
+)
+
+const (
+	magicParams    = uint32(0xFEDC0001)
+	magicKnowledge = uint32(0xFEDC0002)
+)
+
+// WriteParams serialises a flat parameter vector.
+func WriteParams(w io.Writer, flat []float32) error {
+	if err := binary.Write(w, binary.LittleEndian, magicParams); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(flat))); err != nil {
+		return err
+	}
+	return writeF32s(w, flat)
+}
+
+// ReadParams deserialises a flat parameter vector, validating the header.
+func ReadParams(r io.Reader) ([]float32, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != magicParams {
+		return nil, fmt.Errorf("checkpoint: bad params magic %#x", magic)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("checkpoint: implausible parameter count %d", n)
+	}
+	return readF32s(r, int(n))
+}
+
+// WriteKnowledge serialises one task's knowledge record (task id, classes,
+// sparse store).
+func WriteKnowledge(w io.Writer, taskID int, classes []int, s *prune.SparseStore) error {
+	if err := binary.Write(w, binary.LittleEndian, magicKnowledge); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(taskID), uint64(len(classes)), uint64(s.N), uint64(s.Len())}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, c := range classes {
+		if err := binary.Write(w, binary.LittleEndian, int64(c)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, s.Indices); err != nil {
+		return err
+	}
+	return writeF32s(w, s.Values)
+}
+
+// ReadKnowledge deserialises a knowledge record written by WriteKnowledge.
+func ReadKnowledge(r io.Reader) (taskID int, classes []int, s *prune.SparseStore, err error) {
+	var magic uint32
+	if err = binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return 0, nil, nil, err
+	}
+	if magic != magicKnowledge {
+		return 0, nil, nil, fmt.Errorf("checkpoint: bad knowledge magic %#x", magic)
+	}
+	var hdr [4]uint64
+	for i := range hdr {
+		if err = binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	nClasses, n, k := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if nClasses > 1<<20 || n > 1<<31 || k > n {
+		return 0, nil, nil, fmt.Errorf("checkpoint: implausible knowledge header %v", hdr)
+	}
+	classes = make([]int, nClasses)
+	for i := range classes {
+		var c int64
+		if err = binary.Read(r, binary.LittleEndian, &c); err != nil {
+			return 0, nil, nil, err
+		}
+		classes[i] = int(c)
+	}
+	s = &prune.SparseStore{N: n, Indices: make([]int32, k)}
+	if err = binary.Read(r, binary.LittleEndian, s.Indices); err != nil {
+		return 0, nil, nil, err
+	}
+	if s.Values, err = readF32s(r, k); err != nil {
+		return 0, nil, nil, err
+	}
+	return int(hdr[0]), classes, s, nil
+}
+
+func writeF32s(w io.Writer, vals []float32) error {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readF32s(r io.Reader, n int) ([]float32, error) {
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+// Package convergence implements the quantities of the paper's §IV
+// convergence analysis: the optimality gap H(r), the Lemma 1 bound on local
+// weight training, the Lemma 2 / Assumption 3 bound on global (FedAvg)
+// training, and checks of the Theorem 1 learning-rate constraints. The
+// experiments use it to verify empirically that the bounds decay and that
+// the configured schedules satisfy the theorem's conditions.
+package convergence
+
+import (
+	"math"
+
+	"repro/internal/opt"
+)
+
+// GapTracker accumulates per-iteration losses and reports the running
+// optimality gap H(r)/r = (1/r)·Σ f(W_i) − f(W*) of Eq. 6–7. fStar is the
+// (estimated) optimal loss; for empirical tracking, pass the best loss ever
+// observed (the gap is then an upper-bound surrogate).
+type GapTracker struct {
+	losses []float64
+	fStar  float64
+	sum    float64
+}
+
+// NewGapTracker starts a tracker with an initial optimum estimate.
+func NewGapTracker(fStar float64) *GapTracker {
+	return &GapTracker{fStar: fStar}
+}
+
+// Observe records the loss of iteration r (appended in order). The optimum
+// estimate tightens automatically if a smaller loss appears.
+func (g *GapTracker) Observe(loss float64) {
+	g.losses = append(g.losses, loss)
+	g.sum += loss
+	if loss < g.fStar {
+		g.fStar = loss
+	}
+}
+
+// Gap returns H(r)/r after r = len(observations) iterations.
+func (g *GapTracker) Gap() float64 {
+	r := len(g.losses)
+	if r == 0 {
+		return 0
+	}
+	return g.sum/float64(r) - g.fStar
+}
+
+// Iterations returns the number of observations.
+func (g *GapTracker) Iterations() int { return len(g.losses) }
+
+// LocalBound evaluates the Lemma 1 upper bound on local-weight training at
+// iteration r:
+//
+//	E[f(W_r)] − f(W*) ≤ D² / (2 η_r r) + λ² η_r / 2
+//
+// where D bounds the parameter update norm (Assumption 2), λ bounds the
+// stochastic gradient norm (Assumption 1) and η_r is the local learning
+// rate at iteration r.
+func LocalBound(d, lambda, etaR float64, r int) float64 {
+	if r < 1 || etaR <= 0 {
+		return math.Inf(1)
+	}
+	return d*d/(2*etaR*float64(r)) + lambda*lambda*etaR/2
+}
+
+// GlobalBoundParams carries the constants of Assumption 3 / Lemma 2.
+type GlobalBoundParams struct {
+	Mu     float64 // strong-convexity constant µ
+	L      float64 // smoothness constant L
+	Omega  float64 // Γ, the non-IID severity: f* − Σ p_i f_i(W*)
+	SigmaP float64 // Σ p_i² σ_i², client gradient-variance term
+	Lambda float64 // bound on the squared integrated gradient (Eq. 16)
+	DistSq float64 // E‖W_r − W*‖²
+}
+
+// GlobalBound evaluates the Lemma 2 upper bound on global-weight training at
+// iteration r:
+//
+//	E[f(W_r)] − f(W*) ≤ τ/(γ+r−1) · (2B/µ + µγ/2 · E‖W_r−W*‖²)
+//
+// with B = Σp_i²σ_i² + 6LΩ + 8(r−1)²λ², τ = L/µ, γ = max(8τ, r).
+func GlobalBound(p GlobalBoundParams, r int) float64 {
+	if r < 1 || p.Mu <= 0 {
+		return math.Inf(1)
+	}
+	tau := p.L / p.Mu
+	gamma := math.Max(8*tau, float64(r))
+	b := p.SigmaP + 6*p.L*p.Omega + 8*math.Pow(float64(r-1), 2)*p.Lambda*p.Lambda
+	return tau / (gamma + float64(r) - 1) * (2*b/p.Mu + p.Mu*gamma/2*p.DistSq)
+}
+
+// CheckLocalSchedule reports whether a schedule decays at the O(r^-1/2) rate
+// Theorem 1 requires for local weights: η(4r)/η(r) must approach 1/2.
+func CheckLocalSchedule(s opt.Schedule) bool {
+	for _, r := range []int{16, 64, 256} {
+		ratio := s.LR(4*r) / s.LR(r)
+		if math.Abs(ratio-0.5) > 0.1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckGlobalSchedule reports whether a schedule decays at the O(r^-1) rate
+// and satisfies η_r ≤ 2/(µ(γ+r)) for the given µ and γ at every probe
+// iteration: the Theorem 1 condition for global weights.
+func CheckGlobalSchedule(s opt.Schedule, mu, gamma float64) bool {
+	for _, r := range []int{64, 256, 1024} {
+		ratio := s.LR(2*r) / s.LR(r)
+		if math.Abs(ratio-0.5) > 0.1 {
+			return false
+		}
+		if s.LR(r) > 2/(mu*(gamma+float64(r))) {
+			return false
+		}
+	}
+	return true
+}
+
+// IntegratedGradientBound evaluates Eq. 16's bound on the squared norm of
+// the integrated gradient g′ = Gᵀv + g given the constraint-gradient bound
+// λ (Assumption 1), the dual variables v and the gradient dot products: it
+// returns λ²·(1+Σv)² — the triangle-inequality envelope the proof uses to
+// keep Assumption 1 valid for g′.
+func IntegratedGradientBound(lambda float64, v []float64) float64 {
+	s := 1.0
+	for _, vi := range v {
+		s += vi
+	}
+	return lambda * lambda * s * s
+}

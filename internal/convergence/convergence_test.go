@@ -1,0 +1,165 @@
+package convergence
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/opt"
+)
+
+func TestGapTrackerBasics(t *testing.T) {
+	g := NewGapTracker(1.0)
+	if g.Gap() != 0 {
+		t.Fatal("empty tracker gap must be 0")
+	}
+	g.Observe(3)
+	g.Observe(2)
+	g.Observe(1)
+	// mean = 2, f* tightened to 1 → gap = 1.
+	if got := g.Gap(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Gap = %v, want 1", got)
+	}
+	if g.Iterations() != 3 {
+		t.Fatalf("Iterations = %d", g.Iterations())
+	}
+}
+
+func TestGapTrackerTightensOptimum(t *testing.T) {
+	g := NewGapTracker(10)
+	g.Observe(0.5) // f* becomes 0.5
+	if got := g.Gap(); got != 0 {
+		t.Fatalf("single observation at optimum: gap %v", got)
+	}
+}
+
+func TestGapShrinksOnConvergingSequence(t *testing.T) {
+	// A loss sequence decaying to 0.1 must show a decreasing gap, the
+	// empirical statement of Eq. 7.
+	g := NewGapTracker(0.1)
+	var gaps []float64
+	for r := 1; r <= 200; r++ {
+		g.Observe(0.1 + 1.0/float64(r))
+		if r%50 == 0 {
+			gaps = append(gaps, g.Gap())
+		}
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] >= gaps[i-1] {
+			t.Fatalf("gap must shrink: %v", gaps)
+		}
+	}
+}
+
+func TestLocalBoundDecaysWithInvSqrtSchedule(t *testing.T) {
+	// With η_r = c/√r, the Lemma 1 bound is O(1/√r): it must decay toward
+	// zero as r grows.
+	s := opt.InvSqrt{Base: 0.1}
+	prev := math.Inf(1)
+	for _, r := range []int{1, 10, 100, 10000, 1000000} {
+		b := LocalBound(1, 1, s.LR(r), r)
+		if b >= prev {
+			t.Fatalf("bound must decrease: r=%d b=%v prev=%v", r, b, prev)
+		}
+		prev = b
+	}
+	if prev > 0.01 {
+		t.Fatalf("bound at r=10^6 still %v", prev)
+	}
+}
+
+func TestLocalBoundDegenerate(t *testing.T) {
+	if !math.IsInf(LocalBound(1, 1, 0, 10), 1) {
+		t.Fatal("zero lr must give infinite bound")
+	}
+	if !math.IsInf(LocalBound(1, 1, 0.1, 0), 1) {
+		t.Fatal("r=0 must give infinite bound")
+	}
+}
+
+func TestGlobalBoundFiniteAndShrinkingInDist(t *testing.T) {
+	p := GlobalBoundParams{Mu: 1, L: 4, Omega: 0.1, SigmaP: 0.01, Lambda: 0.1, DistSq: 1}
+	b1 := GlobalBound(p, 10)
+	if math.IsInf(b1, 1) || b1 <= 0 {
+		t.Fatalf("bound %v", b1)
+	}
+	p.DistSq = 0.1
+	b2 := GlobalBound(p, 10)
+	if b2 >= b1 {
+		t.Fatal("closer iterate must give smaller bound")
+	}
+}
+
+func TestGlobalBoundNonIIDSeverity(t *testing.T) {
+	// Larger Ω (more severe non-IID) must worsen the bound — the formal
+	// counterpart of the negative-transfer discussion.
+	p := GlobalBoundParams{Mu: 1, L: 4, Omega: 0.1, SigmaP: 0.01, Lambda: 0.1, DistSq: 0.5}
+	low := GlobalBound(p, 50)
+	p.Omega = 1.0
+	high := GlobalBound(p, 50)
+	if high <= low {
+		t.Fatalf("bound must grow with Ω: %v vs %v", low, high)
+	}
+}
+
+func TestGlobalBoundDegenerate(t *testing.T) {
+	if !math.IsInf(GlobalBound(GlobalBoundParams{}, 5), 1) {
+		t.Fatal("µ=0 must give infinite bound")
+	}
+}
+
+func TestCheckLocalSchedule(t *testing.T) {
+	if !CheckLocalSchedule(opt.InvSqrt{Base: 0.01}) {
+		t.Fatal("InvSqrt satisfies the O(r^-1/2) condition")
+	}
+	if CheckLocalSchedule(opt.Const{Rate: 0.01}) {
+		t.Fatal("a constant schedule does not")
+	}
+	if CheckLocalSchedule(opt.Inv{Base: 0.01, Decay: 1}) {
+		t.Fatal("O(r^-1) decays too fast for the local condition")
+	}
+}
+
+func TestCheckGlobalSchedule(t *testing.T) {
+	mu, gamma := 1.0, 32.0
+	// Inv with decay 1 asymptotically halves per doubling and, with a small
+	// base, stays below 2/(µ(γ+r)).
+	if !CheckGlobalSchedule(opt.Inv{Base: 0.01, Decay: 1}, mu, gamma) {
+		t.Fatal("Inv schedule should satisfy the global condition")
+	}
+	if CheckGlobalSchedule(opt.Const{Rate: 0.01}, mu, gamma) {
+		t.Fatal("constant schedule must fail the decay condition")
+	}
+	// A huge base violates η ≤ 2/(µ(γ+r)) even though the rate is right.
+	if CheckGlobalSchedule(opt.Inv{Base: 100, Decay: 1}, mu, gamma) {
+		t.Fatal("oversized base must fail the magnitude condition")
+	}
+}
+
+func TestIntegratedGradientBound(t *testing.T) {
+	// No dual activity → the bound equals λ².
+	if got := IntegratedGradientBound(2, nil); got != 4 {
+		t.Fatalf("empty v: %v", got)
+	}
+	// v = (1, 1) → λ²·9.
+	if got := IntegratedGradientBound(2, []float64{1, 1}); got != 36 {
+		t.Fatalf("v=(1,1): %v", got)
+	}
+	// Monotone in Σv.
+	if IntegratedGradientBound(1, []float64{0.5}) >= IntegratedGradientBound(1, []float64{1}) {
+		t.Fatal("bound must grow with dual mass")
+	}
+}
+
+// TestPaperScheduleConstraintsHold ties §V-B's searched hyperparameters to
+// §IV: the decay configurations used in the experiments satisfy Theorem 1's
+// conditions by construction (Inv decay for the global rate).
+func TestPaperScheduleConstraintsHold(t *testing.T) {
+	for _, base := range []float64{0.0005, 0.0008, 0.001, 0.005} {
+		if !CheckGlobalSchedule(opt.Inv{Base: base, Decay: 1}, 1, 32) {
+			t.Fatalf("paper lr %v violates the global condition", base)
+		}
+		if !CheckLocalSchedule(opt.InvSqrt{Base: base}) {
+			t.Fatalf("paper lr %v violates the local condition", base)
+		}
+	}
+}

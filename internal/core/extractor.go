@@ -1,0 +1,82 @@
+// Package core implements FedKNOW (§III): the knowledge extractor, gradient
+// restorer and gradient integrator, and the client-side training strategy
+// that ties them together inside the federated engine.
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// TaskKnowledge is one signature-task knowledge record: the top-ρ weights of
+// the model after the task converged (Eq. 1), plus the task's class list so
+// restored predictions can be interpreted.
+type TaskKnowledge struct {
+	TaskID  int
+	Classes []int
+	Store   *prune.SparseStore
+}
+
+// KnowledgeExtractor implements §III-B: step 1 is the task training the
+// engine already performed; step 2 selects the top-ρ weights by magnitude;
+// step 3 fine-tunes the retained weights with everything else frozen.
+type KnowledgeExtractor struct {
+	Rho           float64
+	FinetuneIters int
+	FinetuneLR    float64
+}
+
+// NewKnowledgeExtractor returns an extractor with the paper's defaults
+// (ρ = 10 %, a short masked fine-tune).
+func NewKnowledgeExtractor(rho float64) *KnowledgeExtractor {
+	return &KnowledgeExtractor{Rho: rho, FinetuneIters: 10, FinetuneLR: 0.01}
+}
+
+// Extract builds the knowledge of a finished task from the live model,
+// fine-tuning the retained weights on the task's own data (step 3) before
+// recording them.
+func (e *KnowledgeExtractor) Extract(m *model.Model, ct data.ClientTask, rng *tensor.RNG) *TaskKnowledge {
+	params := m.Params()
+	flat := nn.FlattenParams(params)
+	// Layer-wise top-ρ: select within each parameter tensor so the pruned
+	// network keeps a live signal path through every layer (global
+	// selection would zero out the layers with the smallest init scale).
+	segments := make([]int, len(params))
+	for i, p := range params {
+		segments[i] = p.W.Len()
+	}
+	store := prune.ExtractSegments(flat, segments, e.Rho)
+
+	if e.FinetuneIters > 0 && len(ct.Train) > 0 {
+		mask := store.Mask()
+		saved := append([]float32(nil), flat...)
+		// Fine-tune the retained weights in the *pruned* configuration —
+		// everything else zeroed — because that is exactly how the gradient
+		// restorer will evaluate them later (Eq. 2 forwards the knowledge
+		// model, not the full model). Step 3 of §III-B: tune W_i, keep the
+		// other weights unchanged (at their pruned value, zero).
+		nn.SetFlatParams(params, store.Densify())
+		ft := opt.NewSGD(opt.Const{Rate: e.FinetuneLR}, 0, 0)
+		batch := 16
+		if batch > len(ct.Train) {
+			batch = len(ct.Train)
+		}
+		for it := 0; it < e.FinetuneIters; it++ {
+			idx := rng.Perm(len(ct.Train))[:batch]
+			x, labels := data.Batch(ct.Train, idx, m.InC, m.InH, m.InW)
+			logits := m.Forward(x, true)
+			_, dl := nn.MaskedCrossEntropy(logits, labels, ct.Classes)
+			nn.ZeroGrads(params)
+			m.Backward(dl)
+			ft.StepMasked(params, mask)
+		}
+		store.Refresh(nn.FlattenParams(params))
+		// Restore the full model: fine-tuning only shapes the stored copy.
+		nn.SetFlatParams(params, saved)
+	}
+	return &TaskKnowledge{TaskID: ct.TaskID, Classes: ct.Classes, Store: store}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// GradientRestorer implements §III-C / Eq. 2: it reconstructs a past task's
+// gradient without stored samples. For past task i, it forwards the current
+// batch through the knowledge model (task-i retained weights pasted over a
+// zeroed parameter vector), takes the soft predictions as distillation
+// targets, and differentiates the cross-entropy between the live model's
+// predictions and those targets:
+//
+//	g_i = ∇ loss(f(W, X_{m+1}), f(W_i, X_{m+1}))
+type GradientRestorer struct {
+	m *model.Model
+	// scratch buffer for swapping parameter vectors
+	saved []float32
+}
+
+// NewGradientRestorer wraps the live model.
+func NewGradientRestorer(m *model.Model) *GradientRestorer {
+	return &GradientRestorer{m: m}
+}
+
+// Restore computes the restored gradient of one past task on the given
+// batch. The model's parameters and gradients are preserved across the call.
+func (r *GradientRestorer) Restore(k *TaskKnowledge, x *tensor.Tensor) []float32 {
+	params := r.m.Params()
+	if r.saved == nil {
+		r.saved = make([]float32, nn.NumParams(params))
+	}
+	copy(r.saved, flatInto(params, nil))
+
+	// Knowledge model forward: retained weights over zeros. Targets are
+	// restricted to the task's own classes — the knowledge model's logits
+	// are only meaningful there, and the restored gradient should protect
+	// exactly that behaviour.
+	dense := k.Store.Densify()
+	nn.SetFlatParams(params, dense)
+	logitsK := r.m.Forward(x, false)
+	targets := maskedSoftmax(logitsK, k.Classes)
+
+	// Live model forward + distillation backward, on the same class mask.
+	nn.SetFlatParams(params, r.saved)
+	logits := r.m.Forward(x, true)
+	dl := maskedDistillGrad(logits, targets, k.Classes)
+	savedGrads := nn.FlattenGrads(params)
+	nn.ZeroGrads(params)
+	r.m.Backward(dl)
+	g := nn.FlattenGrads(params)
+	nn.SetFlatGrads(params, savedGrads)
+	return g
+}
+
+// RestoreAll restores the gradients of every given knowledge record on the
+// batch, in order.
+func (r *GradientRestorer) RestoreAll(ks []*TaskKnowledge, x *tensor.Tensor) [][]float32 {
+	out := make([][]float32, len(ks))
+	for i, k := range ks {
+		out[i] = r.Restore(k, x)
+	}
+	return out
+}
+
+// maskedSoftmax computes softmax over only the given classes, zero
+// elsewhere.
+func maskedSoftmax(logits *tensor.Tensor, classes []int) *tensor.Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		maxV := float32(-3.4e38)
+		for _, c := range classes {
+			if v := logits.Data[i*k+c]; v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, c := range classes {
+			e := exp32(logits.Data[i*k+c] - maxV)
+			out.Data[i*k+c] = e
+			sum += float64(e)
+		}
+		inv := float32(1 / sum)
+		for _, c := range classes {
+			out.Data[i*k+c] *= inv
+		}
+	}
+	return out
+}
+
+// maskedDistillGrad is the gradient of cross-entropy between the live
+// model's masked softmax and the target distribution, restricted to the
+// task classes.
+func maskedDistillGrad(logits, targets *tensor.Tensor, classes []int) *tensor.Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	p := maskedSoftmax(logits, classes)
+	dl := tensor.New(n, k)
+	invN := float32(1 / float64(n))
+	for i := 0; i < n; i++ {
+		for _, c := range classes {
+			dl.Data[i*k+c] = (p.Data[i*k+c] - targets.Data[i*k+c]) * invN
+		}
+	}
+	return dl
+}
+
+func exp32(v float32) float32 {
+	return float32(math.Exp(float64(v)))
+}
+
+// flatInto writes the flattened parameters into dst (allocating when nil).
+func flatInto(params []*nn.Param, dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, 0, nn.NumParams(params))
+		for _, p := range params {
+			dst = append(dst, p.W.Data...)
+		}
+		return dst
+	}
+	off := 0
+	for _, p := range params {
+		copy(dst[off:], p.W.Data)
+		off += p.W.Len()
+	}
+	return dst
+}

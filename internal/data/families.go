@@ -1,0 +1,80 @@
+package data
+
+// Family describes one of the paper's benchmarks: its class/task structure
+// and the synthetic style standing in for its visual statistics.
+type Family struct {
+	Name          string
+	NumClasses    int
+	NumTasks      int
+	TrainPerClass int // at Full scale (scaled-down absolute counts)
+	TestPerClass  int
+	Noise         float64
+	Shift         int
+	ProtoParts    int
+}
+
+// The five evaluation benchmarks (§V-A) plus the SVHN hyperparameter-search
+// stand-in. Per-class sample counts are scaled from the paper's (500 train /
+// 100 test per class for CIFAR-100) by ~10× so Full runs stay tractable on a
+// CPU; the task structure is exact.
+var (
+	// CIFAR100: 100 classes, 10 tasks × 10 classes.
+	CIFAR100 = Family{Name: "CIFAR100", NumClasses: 100, NumTasks: 10,
+		TrainPerClass: 50, TestPerClass: 10, Noise: 0.35, Shift: 2, ProtoParts: 3}
+	// FC100: same structure as CIFAR100 but few-shot-style harder classes
+	// (more noise, more pattern parts).
+	FC100 = Family{Name: "FC100", NumClasses: 100, NumTasks: 10,
+		TrainPerClass: 50, TestPerClass: 10, Noise: 0.5, Shift: 2, ProtoParts: 4}
+	// CORe50: 550 classes, 11 tasks × 50 classes (continuous object
+	// recognition: low noise, larger shifts emulating camera motion).
+	CORe50 = Family{Name: "CORe50", NumClasses: 550, NumTasks: 11,
+		TrainPerClass: 30, TestPerClass: 10, Noise: 0.25, Shift: 3, ProtoParts: 3}
+	// MiniImageNet: 100 classes, 10 tasks × 10 classes.
+	MiniImageNet = Family{Name: "MiniImageNet", NumClasses: 100, NumTasks: 10,
+		TrainPerClass: 50, TestPerClass: 10, Noise: 0.4, Shift: 2, ProtoParts: 4}
+	// TinyImageNet: 200 classes, 20 tasks × 10 classes.
+	TinyImageNet = Family{Name: "TinyImageNet", NumClasses: 200, NumTasks: 20,
+		TrainPerClass: 50, TestPerClass: 5, Noise: 0.45, Shift: 2, ProtoParts: 4}
+	// SVHN: 10 classes, 2 tasks × 5 classes; used only for hyperparameter
+	// search, mirroring §V-B.
+	SVHN = Family{Name: "SVHN", NumClasses: 10, NumTasks: 2,
+		TrainPerClass: 50, TestPerClass: 10, Noise: 0.3, Shift: 1, ProtoParts: 3}
+)
+
+// Families lists the five evaluation benchmarks in the paper's order.
+var Families = []Family{CIFAR100, FC100, CORe50, MiniImageNet, TinyImageNet}
+
+// FamilyByName finds a family by its paper name; ok is false when unknown.
+func FamilyByName(name string) (Family, bool) {
+	all := append(append([]Family{}, Families...), SVHN)
+	for _, f := range all {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// Build generates the dataset at the given scale and splits it into tasks.
+// CI scale divides class and sample counts so a full federated run finishes
+// in seconds; task structure (number of tasks) is preserved.
+func (f Family) Build(scale Scale, seed uint64) (*Dataset, []Task) {
+	cfg := Config{
+		Name:          f.Name,
+		NumClasses:    f.NumClasses,
+		TrainPerClass: f.TrainPerClass,
+		TestPerClass:  f.TestPerClass,
+		C:             3, H: 16, W: 16,
+		Noise: f.Noise, Shift: f.Shift, ProtoParts: f.ProtoParts,
+		Seed: seed,
+	}
+	if scale == CI {
+		// Keep the task count; shrink classes per task to 4 and samples.
+		cfg.NumClasses = f.NumTasks * 4
+		cfg.TrainPerClass = 10
+		cfg.TestPerClass = 3
+		cfg.H, cfg.W = 12, 12
+	}
+	ds := Generate(cfg)
+	return ds, SplitTasks(ds, f.NumTasks)
+}

@@ -1,0 +1,120 @@
+// Package device models the heterogeneous edge testbed of §V-A: Jetson TX2,
+// Nano, Xavier NX, AGX, and Raspberry Pi 4B boards. Real boards are a
+// hardware gate this reproduction cannot use, so each device is an analytic
+// model — an effective training throughput (FLOP/s achieved on small-batch
+// DNN training) and a memory capacity. Simulated training time is
+// work / throughput; communication time is payload / bandwidth. This
+// reproduces the *shape* of the paper's time axes (who is slower, by what
+// factor, when a device runs out of memory), not the absolute hours.
+package device
+
+import "fmt"
+
+// Device is one edge board.
+type Device struct {
+	Name     string
+	FLOPS    float64 // effective training throughput, FLOP/s
+	MemBytes int64   // memory capacity available to training
+}
+
+const gb = int64(1) << 30
+
+// The five board types. Throughputs are calibrated to the relative training
+// speeds the paper reports (Jetson family within ~5× of each other; the
+// CPU-only Raspberry Pi ~12–20× slower than the Jetson average, matching the
+// "delays training by an average of 12 times" observation in §V-B).
+var (
+	JetsonAGX      = Device{Name: "Jetson AGX", FLOPS: 1.0e12, MemBytes: 32 * gb}
+	JetsonXavierNX = Device{Name: "Jetson Xavier NX", FLOPS: 6.0e11, MemBytes: 16 * gb}
+	JetsonTX2      = Device{Name: "Jetson TX2", FLOPS: 4.0e11, MemBytes: 8 * gb}
+	JetsonNano     = Device{Name: "Jetson Nano", FLOPS: 2.0e11, MemBytes: 4 * gb}
+)
+
+// RaspberryPi returns a Raspberry Pi 4B with the given memory in GB
+// (the paper's cluster mixes 2, 4 and 8 GB boards).
+func RaspberryPi(memGB int) Device {
+	return Device{Name: fmt.Sprintf("Raspberry Pi 4B (%dGB)", memGB),
+		FLOPS: 2.5e10, MemBytes: int64(memGB) * gb}
+}
+
+// Cluster is an ordered set of devices; client i runs on Devices[i].
+type Cluster struct {
+	Devices []Device
+}
+
+// Size returns the number of devices.
+func (c *Cluster) Size() int { return len(c.Devices) }
+
+// Jetson20 is the paper's main 20-device cluster: 2 AGX, 2 TX2,
+// 8 Xavier NX, 8 Nano (§V-B).
+func Jetson20() *Cluster {
+	c := &Cluster{}
+	for i := 0; i < 2; i++ {
+		c.Devices = append(c.Devices, JetsonAGX)
+	}
+	for i := 0; i < 2; i++ {
+		c.Devices = append(c.Devices, JetsonTX2)
+	}
+	for i := 0; i < 8; i++ {
+		c.Devices = append(c.Devices, JetsonXavierNX)
+	}
+	for i := 0; i < 8; i++ {
+		c.Devices = append(c.Devices, JetsonNano)
+	}
+	return c
+}
+
+// Mixed30 is the heterogeneity study's 30-device cluster: Jetson20 plus 10
+// Raspberry Pis (one 2 GB, five 4 GB, four 8 GB).
+func Mixed30() *Cluster {
+	c := Jetson20()
+	c.Devices = append(c.Devices, RaspberryPi(2))
+	for i := 0; i < 5; i++ {
+		c.Devices = append(c.Devices, RaspberryPi(4))
+	}
+	for i := 0; i < 4; i++ {
+		c.Devices = append(c.Devices, RaspberryPi(8))
+	}
+	return c
+}
+
+// Uniform builds an n-device cluster of identical boards, used by the 50-
+// and 100-client scalability experiments (Fig. 8), which the paper runs by
+// partitioning data more thinly rather than adding new hardware types.
+func Uniform(n int, d Device) *Cluster {
+	c := &Cluster{Devices: make([]Device, n)}
+	for i := range c.Devices {
+		c.Devices[i] = d
+	}
+	return c
+}
+
+// TrainTime returns the simulated seconds to execute the given forward+
+// backward work (FLOPs) on the device. Backward is ~2× forward; callers
+// pass total work already.
+func (d Device) TrainTime(flops float64) float64 {
+	return flops / d.FLOPS
+}
+
+// CommTime returns the simulated seconds to move the payload at the given
+// bandwidth (bytes/second).
+func CommTime(payloadBytes int64, bandwidth float64) float64 {
+	if bandwidth <= 0 {
+		return 0
+	}
+	return float64(payloadBytes) / bandwidth
+}
+
+// Bandwidths used by the Fig. 6 sweep, in bytes/second (50 KB/s – 10 MB/s).
+var Fig6Bandwidths = []float64{
+	50 * 1024, 100 * 1024, 200 * 1024, 500 * 1024,
+	1024 * 1024, 2 * 1024 * 1024, 5 * 1024 * 1024, 10 * 1024 * 1024,
+}
+
+// BandwidthLabel renders a bandwidth as the paper writes it.
+func BandwidthLabel(bw float64) string {
+	if bw >= 1024*1024 {
+		return fmt.Sprintf("%gMB/s", bw/(1024*1024))
+	}
+	return fmt.Sprintf("%gKB/s", bw/1024)
+}

@@ -1,0 +1,94 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJetson20Composition(t *testing.T) {
+	c := Jetson20()
+	if c.Size() != 20 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	count := map[string]int{}
+	for _, d := range c.Devices {
+		count[d.Name]++
+	}
+	if count["Jetson AGX"] != 2 || count["Jetson TX2"] != 2 ||
+		count["Jetson Xavier NX"] != 8 || count["Jetson Nano"] != 8 {
+		t.Fatalf("composition %v", count)
+	}
+}
+
+func TestMixed30AddsRaspberryPis(t *testing.T) {
+	c := Mixed30()
+	if c.Size() != 30 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	pis := 0
+	twoGB := 0
+	for _, d := range c.Devices {
+		if strings.Contains(d.Name, "Raspberry") {
+			pis++
+			if d.MemBytes == 2<<30 {
+				twoGB++
+			}
+		}
+	}
+	if pis != 10 || twoGB != 1 {
+		t.Fatalf("pis=%d twoGB=%d", pis, twoGB)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	c := Uniform(50, JetsonNano)
+	if c.Size() != 50 || c.Devices[49].Name != "Jetson Nano" {
+		t.Fatal("Uniform cluster wrong")
+	}
+}
+
+func TestTrainTimeScalesInversely(t *testing.T) {
+	work := 1e12
+	fast := JetsonAGX.TrainTime(work)
+	slow := RaspberryPi(4).TrainTime(work)
+	if slow <= fast {
+		t.Fatal("Pi must be slower than AGX")
+	}
+	ratio := slow / fast
+	if ratio < 10 || ratio > 100 {
+		t.Fatalf("Pi/AGX ratio %v outside the paper's ~12–40× band", ratio)
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	if got := CommTime(1024*1024, 1024*1024); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("1MB at 1MB/s = %v s", got)
+	}
+	if CommTime(100, 0) != 0 {
+		t.Fatal("zero bandwidth must not divide by zero")
+	}
+}
+
+func TestFig6BandwidthsRange(t *testing.T) {
+	if len(Fig6Bandwidths) != 8 {
+		t.Fatalf("%d bandwidths, want 8", len(Fig6Bandwidths))
+	}
+	if Fig6Bandwidths[0] != 50*1024 || Fig6Bandwidths[7] != 10*1024*1024 {
+		t.Fatal("sweep must span 50KB/s to 10MB/s")
+	}
+	for i := 1; i < len(Fig6Bandwidths); i++ {
+		if Fig6Bandwidths[i] <= Fig6Bandwidths[i-1] {
+			t.Fatal("bandwidths must ascend")
+		}
+	}
+}
+
+func TestBandwidthLabel(t *testing.T) {
+	if BandwidthLabel(50*1024) != "50KB/s" {
+		t.Fatalf("label %q", BandwidthLabel(50*1024))
+	}
+	if BandwidthLabel(2*1024*1024) != "2MB/s" {
+		t.Fatalf("label %q", BandwidthLabel(2*1024*1024))
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/data"
+	"repro/internal/device"
+)
+
+// Fig5Result is the total communication volume comparison (Fig. 5):
+// FedKNOW vs FedWEIT on each workload, in GB of up+down traffic.
+type Fig5Result struct {
+	Datasets []string
+	VolumeGB map[string]map[string]float64 // dataset → method → GB
+	Table    *Table
+}
+
+// Fig5 measures total communication volume for both methods across the
+// requested datasets (nil = all five).
+func Fig5(opt Options, datasets []data.Family) (*Fig5Result, error) {
+	if datasets == nil {
+		datasets = data.Families
+	}
+	methods := []string{"FedKNOW", "FedWEIT"}
+	res := &Fig5Result{VolumeGB: map[string]map[string]float64{}}
+	for _, fam := range datasets {
+		ds, tasks := fam.Build(opt.Scale, opt.Seed)
+		rt := RuntimeFor(fam, opt.Scale)
+		arch := archFor(fam)
+		alloc := data.DefaultAlloc(opt.Seed + 1)
+		if opt.Scale == data.CI {
+			alloc = data.CIAlloc(opt.Seed + 1)
+		} else {
+			rt.Clients = 20
+		}
+		cluster := device.Jetson20()
+		opt.tune(&rt)
+		seqs := data.Federate(tasks, rt.Clients, alloc)
+
+		res.Datasets = append(res.Datasets, fam.Name)
+		res.VolumeGB[fam.Name] = map[string]float64{}
+		for _, m := range methods {
+			r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+			last := r.PerTask[len(r.PerTask)-1]
+			res.VolumeGB[fam.Name][m] = gb(last.UpBytes + last.DownBytes)
+		}
+	}
+	tbl := &Table{
+		Title:  "Fig.5: total communication volume (GB)",
+		Header: []string{"Dataset", "FedKNOW", "FedWEIT", "reduction"},
+	}
+	for _, d := range res.Datasets {
+		fk := res.VolumeGB[d]["FedKNOW"]
+		fw := res.VolumeGB[d]["FedWEIT"]
+		red := 0.0
+		if fw > 0 {
+			red = (fw - fk) / fw
+		}
+		tbl.Rows = append(tbl.Rows, []string{d, f6(fk), f6(fw), pct(red)})
+	}
+	res.Table = tbl
+	tbl.Print(opt.out())
+	return res, nil
+}
+
+// MeanReduction is FedKNOW's average communication saving versus FedWEIT
+// across datasets (the paper reports 34.28 %).
+func (r *Fig5Result) MeanReduction() float64 {
+	var s float64
+	n := 0
+	for _, d := range r.Datasets {
+		fw := r.VolumeGB[d]["FedWEIT"]
+		if fw <= 0 {
+			continue
+		}
+		s += (fw - r.VolumeGB[d]["FedKNOW"]) / fw
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/fed"
+)
+
+// Fig9Models are the architectures of the applicability study (§V-E),
+// spanning the survey's six DNN categories.
+var Fig9Models = []string{
+	"WideResNet", "ResNeXt", "ResNet152", "SENet18",
+	"MobileNetV2", "MobileNetV2x2", "ShuffleNetV2", "DenseNet", "InceptionV3",
+}
+
+// Fig9Result is the per-architecture accuracy comparison of GEM / FedWEIT /
+// FedKNOW on MiniImageNet.
+type Fig9Result struct {
+	Models  []string
+	Methods []string
+	// Series[model][method] is the accuracy-vs-task curve.
+	Series map[string]map[string]Series
+	Raw    map[string]*fed.Result // keyed "model/method"
+}
+
+// Fig9 runs the applicability sweep. models selects a subset (nil = all).
+func Fig9(opt Options, models []string) (*Fig9Result, error) {
+	if models == nil {
+		models = Fig9Models
+	}
+	methods := []string{"GEM", "FedWEIT", "FedKNOW"}
+	fam := data.MiniImageNet
+	ds, tasks := fam.Build(opt.Scale, opt.Seed)
+	rt := RuntimeFor(fam, opt.Scale)
+	alloc := data.DefaultAlloc(opt.Seed + 1)
+	if opt.Scale == data.CI {
+		alloc = data.CIAlloc(opt.Seed + 1)
+	} else {
+		rt.Clients = 20
+	}
+	opt.tune(&rt)
+	seqs := data.Federate(tasks, rt.Clients, alloc)
+	cluster := device.Jetson20()
+
+	res := &Fig9Result{Models: models, Methods: methods,
+		Series: map[string]map[string]Series{}, Raw: map[string]*fed.Result{}}
+	for _, arch := range models {
+		res.Series[arch] = map[string]Series{}
+		var panel []Series
+		for _, m := range methods {
+			r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+			res.Raw[arch+"/"+m] = r
+			s := Series{Label: m}
+			for _, tp := range r.PerTask {
+				s.X = append(s.X, float64(tp.TaskIdx+1))
+				s.Y = append(s.Y, tp.AvgAccuracy)
+			}
+			res.Series[arch][m] = s
+			panel = append(panel, s)
+		}
+		PrintSeries(opt.out(), fmt.Sprintf("Fig.9: %s on MiniImageNet", arch), panel)
+	}
+	return res, nil
+}
+
+// FinalAccuracy reads the last-task average accuracy of one model/method.
+func (r *Fig9Result) FinalAccuracy(arch, method string) float64 {
+	s := r.Series[arch][method]
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}

@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each experiment has a structured result (for tests and
+// benches) and a printer that emits the same rows/series the paper reports.
+// The Scale knob selects between the paper's task/client counts (Full) and
+// a laptop-sized configuration (CI) that preserves comparative orderings.
+package experiments
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Runtime bundles the training-protocol constants for one run.
+type Runtime struct {
+	Clients    int
+	Rounds     int
+	LocalIters int
+	BatchSize  int
+	LR         float64
+	LRDecay    float64
+	Bandwidth  float64 // bytes/second (paper default: 1 MB/s)
+	Width      int
+	MemScale   float64
+}
+
+// paperRounds holds §V-B's per-workload aggregation-round counts.
+var paperRounds = map[string]int{
+	"CIFAR100": 15, "FC100": 15, "CORe50": 15, "MiniImageNet": 10, "TinyImageNet": 5,
+}
+
+// paperLR holds §V-B's per-workload learning rates and decay rates.
+var paperLR = map[string][2]float64{
+	"CIFAR100": {0.001, 1e-4}, "FC100": {0.001, 1e-4}, "CORe50": {0.001, 1e-4},
+	"MiniImageNet": {0.0008, 1e-5}, "TinyImageNet": {0.0008, 1e-5},
+}
+
+// RuntimeFor derives the protocol constants for a dataset family at a scale.
+func RuntimeFor(f data.Family, scale data.Scale) Runtime {
+	if scale == data.Full {
+		lr := paperLR[f.Name]
+		if lr[0] == 0 {
+			lr = [2]float64{0.001, 1e-4}
+		}
+		r := paperRounds[f.Name]
+		if r == 0 {
+			r = 10
+		}
+		return Runtime{
+			Clients: 20, Rounds: r, LocalIters: 25, BatchSize: 16,
+			LR: lr[0], LRDecay: lr[1], Bandwidth: 1024 * 1024, Width: 1,
+		}
+	}
+	// CI scale: few clients, short rounds, higher LR so learning is visible
+	// within the shrunken budget.
+	return Runtime{
+		Clients: 4, Rounds: 2, LocalIters: 2, BatchSize: 8,
+		LR: 0.02, LRDecay: 1e-4, Bandwidth: 1024 * 1024, Width: 1,
+	}
+}
+
+// archFor returns the §V-A model for a dataset family: the 6-layer CNN for
+// CIFAR100/FC100/CORe50, ResNet-18 for Mini/TinyImageNet.
+func archFor(f data.Family) string {
+	switch f.Name {
+	case "MiniImageNet", "TinyImageNet":
+		return "ResNet18"
+	default:
+		return "SixCNN"
+	}
+}
+
+// fedKNOWOptions scales FedKNOW's hyperparameters (§V-B: ρ = 10 %, k = 10).
+func fedKNOWOptions(scale data.Scale) core.Options {
+	opts := core.DefaultOptions()
+	if scale == data.CI {
+		opts.K = 3
+		opts.FinetuneIters = 1
+		opts.SelectEvery = 3
+	}
+	return opts
+}
+
+// MethodFactory resolves a method name (FedKNOW or any §V-A baseline) to a
+// strategy factory. Unknown names panic: experiment specs are static.
+func MethodFactory(name string, scale data.Scale) fed.Factory {
+	if name == "FedKNOW" {
+		return core.Factory(fedKNOWOptions(scale))
+	}
+	if f, ok := baselines.Registry[name]; ok {
+		return f
+	}
+	panic("experiments: unknown method " + name)
+}
+
+// AllMethods is the paper's presentation order: FedKNOW then the 11
+// baselines.
+var AllMethods = append([]string{"FedKNOW"}, baselines.Names...)
+
+// builderFor returns the model builder for an architecture and geometry.
+func builderFor(arch string, numClasses, inC, inH, inW, width int) func(*tensor.RNG) *model.Model {
+	return func(rng *tensor.RNG) *model.Model {
+		return model.MustBuild(arch, numClasses, inC, inH, inW, width, rng)
+	}
+}
+
+// runOne executes one method on one prepared federation and returns the
+// engine result.
+func runOne(method string, scale data.Scale, rt Runtime, cluster clusterLike,
+	seqs [][]data.ClientTask, numClasses int, arch string, ds *data.Dataset, seed uint64) *fed.Result {
+	cfg := fed.Config{
+		Method: method, Rounds: rt.Rounds, LocalIters: rt.LocalIters,
+		BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
+		NumClasses: numClasses, Bandwidth: rt.Bandwidth, MemScale: rt.MemScale,
+		Seed: seed,
+	}
+	e := fed.NewEngine(cfg, cluster.cluster(), seqs,
+		builderFor(arch, numClasses, ds.C, ds.H, ds.W, rt.Width),
+		MethodFactory(method, scale))
+	return e.Run()
+}

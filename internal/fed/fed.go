@@ -1,0 +1,454 @@
+// Package fed is the federated continual-learning simulation engine. It
+// drives the protocol of §III-A: each client owns a private task sequence;
+// every task is trained for r aggregation rounds of v local iterations; the
+// server aggregates with FedAvg and broadcasts the global model. The engine
+// accounts communication volume (bytes), simulated wall-clock time through
+// the device model, and per-task accuracy matrices, which is everything the
+// paper's figures plot.
+package fed
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// ClientCtx is everything a strategy can see inside one client.
+type ClientCtx struct {
+	ID         int
+	NumClients int
+	Model      *model.Model
+	Opt        *opt.SGD
+	RNG        *tensor.RNG
+	NumClasses int
+}
+
+// Strategy is one training method (FedKNOW or a baseline) running inside a
+// client. The engine calls the hooks in protocol order; BaseStrategy
+// provides no-op defaults so methods implement only what they need.
+type Strategy interface {
+	// Name identifies the method in reports.
+	Name() string
+	// TrainStep performs one local iteration on the batch (forward,
+	// backward, possibly gradient surgery, optimizer step) and returns the
+	// task loss.
+	TrainStep(x *tensor.Tensor, labels []int, classes []int) float64
+	// AfterAggregate runs after the server's global model has been
+	// installed; preAgg is the client's flat parameter vector from before
+	// aggregation. FedKNOW fine-tunes here (§III-A), APFL mixes models.
+	AfterAggregate(preAgg []float32, ct data.ClientTask)
+	// TaskEnd runs after a task's final round (knowledge extraction,
+	// memory updates, importance estimation).
+	TaskEnd(ct data.ClientTask)
+	// AggregateMask selects which parameters the server aggregates; nil
+	// means all (FedRep masks its head layers out).
+	AggregateMask() []bool
+	// ExtraUploadBytes / ExtraDownloadBytes report per-round communication
+	// beyond the dense model payload (FedWEIT's adaptive-weight pool).
+	ExtraUploadBytes() int
+	ExtraDownloadBytes() int
+	// MemoryBytes is the method's retained state (samples, knowledge,
+	// importance matrices), charged against device memory.
+	MemoryBytes() int
+	// OverheadFLOPs is extra per-iteration compute beyond the plain
+	// forward+backward (restored gradients, QP solves, penalty terms),
+	// charged against device speed.
+	OverheadFLOPs() float64
+}
+
+// BaseStrategy provides default no-op hook implementations.
+type BaseStrategy struct{}
+
+// AfterAggregate does nothing.
+func (BaseStrategy) AfterAggregate([]float32, data.ClientTask) {}
+
+// TaskEnd does nothing.
+func (BaseStrategy) TaskEnd(data.ClientTask) {}
+
+// AggregateMask aggregates everything.
+func (BaseStrategy) AggregateMask() []bool { return nil }
+
+// ExtraUploadBytes is zero.
+func (BaseStrategy) ExtraUploadBytes() int { return 0 }
+
+// ExtraDownloadBytes is zero.
+func (BaseStrategy) ExtraDownloadBytes() int { return 0 }
+
+// MemoryBytes is zero.
+func (BaseStrategy) MemoryBytes() int { return 0 }
+
+// OverheadFLOPs is zero.
+func (BaseStrategy) OverheadFLOPs() float64 { return 0 }
+
+// Factory builds a strategy for one client.
+type Factory func(ctx *ClientCtx) Strategy
+
+// Config drives one federated continual-learning run.
+type Config struct {
+	Method      string
+	Rounds      int // aggregation rounds per task (r)
+	LocalIters  int // local iterations per round (v)
+	BatchSize   int
+	LR          float64
+	LRDecay     float64
+	NumClasses  int
+	Bandwidth   float64 // bytes/second per client link
+	MemScale    float64 // sim-bytes → real-bytes multiplier for OOM checks
+	Seed        uint64
+	Parallelism int // concurrent clients; 0 = GOMAXPROCS
+	// DropoutProb is the per-round probability that a client goes offline
+	// for that round (skips local training and aggregation) — the failure
+	// injection used to check that FedAvg-style protocols tolerate edge
+	// churn. 0 disables dropout.
+	DropoutProb float64
+}
+
+// client is the engine's per-client state.
+type client struct {
+	ctx      *ClientCtx
+	strategy Strategy
+	seq      []data.ClientTask
+	dev      device.Device
+	alive    bool
+	offline  bool // this round only (dropout injection)
+	// batching state
+	order []int
+	cur   int
+}
+
+// Result aggregates a run's outputs.
+type Result struct {
+	Method    string
+	PerTask   []TaskPoint
+	Matrix    *metrics.Matrix // averaged over alive clients
+	DeadAfter map[int]int     // client id → task index at which it OOMed
+}
+
+// TaskPoint is the measured state after finishing task index TaskIdx.
+type TaskPoint struct {
+	TaskIdx        int
+	AvgAccuracy    float64 // mean over clients of mean accuracy on learned tasks
+	ForgettingRate float64
+	SimHours       float64 // cumulative simulated training+comm time
+	CommHours      float64 // cumulative simulated communication time only
+	UpBytes        int64   // cumulative
+	DownBytes      int64
+}
+
+// Engine runs the simulation.
+type Engine struct {
+	cfg     Config
+	clients []*client
+	cluster *device.Cluster
+	dropRNG *tensor.RNG
+
+	simSeconds  float64
+	commSeconds float64
+	upBytes     int64
+	downBytes   int64
+}
+
+// NewEngine builds clients: one model per client from the builder, the
+// strategy from the factory, and the device from the cluster (round-robin if
+// the cluster is smaller than the client count).
+func NewEngine(cfg Config, cluster *device.Cluster, seqs [][]data.ClientTask,
+	build func(rng *tensor.RNG) *model.Model, factory Factory) *Engine {
+	e := &Engine{cfg: cfg, cluster: cluster, dropRNG: tensor.NewRNG(cfg.Seed ^ 0xD209)}
+	root := tensor.NewRNG(cfg.Seed)
+	// All clients start from the same initial weights (§V-B common training
+	// settings): build one reference model and copy its parameters.
+	ref := build(root.Fork(0xC0FFEE))
+	refFlat := nn.FlattenParams(ref.Params())
+	for i, seq := range seqs {
+		rng := root.Fork(uint64(i) + 1)
+		m := build(rng.Fork(7))
+		nn.SetFlatParams(m.Params(), refFlat)
+		ctx := &ClientCtx{
+			ID:         i,
+			NumClients: len(seqs),
+			Model:      m,
+			Opt:        opt.NewSGD(opt.Inv{Base: cfg.LR, Decay: cfg.LRDecay}, 0, 0),
+			RNG:        rng,
+			NumClasses: cfg.NumClasses,
+		}
+		e.clients = append(e.clients, &client{
+			ctx:      ctx,
+			strategy: factory(ctx),
+			seq:      seq,
+			dev:      cluster.Devices[i%cluster.Size()],
+			alive:    true,
+		})
+	}
+	return e
+}
+
+// Run executes the full task sequence and returns the result.
+func (e *Engine) Run() *Result {
+	numTasks := len(e.clients[0].seq)
+	res := &Result{
+		Method:    e.cfg.Method,
+		Matrix:    metrics.NewMatrix(numTasks),
+		DeadAfter: map[int]int{},
+	}
+	for taskIdx := 0; taskIdx < numTasks; taskIdx++ {
+		e.trainTask(taskIdx, res)
+		e.evaluate(taskIdx, res)
+		tp := TaskPoint{
+			TaskIdx:        taskIdx,
+			AvgAccuracy:    res.Matrix.AvgAccuracy(taskIdx),
+			ForgettingRate: res.Matrix.ForgettingRate(taskIdx),
+			SimHours:       e.simSeconds / 3600,
+			CommHours:      e.commSeconds / 3600,
+			UpBytes:        e.upBytes,
+			DownBytes:      e.downBytes,
+		}
+		res.PerTask = append(res.PerTask, tp)
+	}
+	return res
+}
+
+// trainTask runs r aggregation rounds for the task at position taskIdx of
+// every client's sequence.
+func (e *Engine) trainTask(taskIdx int, res *Result) {
+	for _, c := range e.clients {
+		if !c.alive {
+			continue
+		}
+		c.order = nil
+		c.cur = 0
+	}
+	for round := 0; round < e.cfg.Rounds; round++ {
+		// Failure injection: each client may drop out of this round.
+		anyOnline := false
+		for _, c := range e.clients {
+			c.offline = c.alive && e.cfg.DropoutProb > 0 && e.dropRNG.Float64() < e.cfg.DropoutProb
+			if c.alive && !c.offline {
+				anyOnline = true
+			}
+		}
+		if !anyOnline {
+			// Keep the protocol alive: at least one participant per round.
+			for _, c := range e.clients {
+				if c.alive {
+					c.offline = false
+					break
+				}
+			}
+		}
+		// Local training, clients in parallel.
+		e.forEachAlive(func(c *client) {
+			ct := c.seq[taskIdx]
+			for it := 0; it < e.cfg.LocalIters; it++ {
+				x, labels := c.nextBatch(ct, e.cfg.BatchSize)
+				c.strategy.TrainStep(x, labels, ct.Classes)
+			}
+		})
+		// Time accounting: synchronous rounds bound by the slowest client.
+		var worstCompute, worstComm float64
+		for _, c := range e.clients {
+			if !c.alive || c.offline {
+				continue
+			}
+			work := c.ctx.Model.FLOPsPerSample() * 3 * float64(e.cfg.BatchSize*e.cfg.LocalIters)
+			work += c.strategy.OverheadFLOPs() * float64(e.cfg.LocalIters)
+			if t := c.dev.TrainTime(work); t > worstCompute {
+				worstCompute = t
+			}
+			extraUp := c.strategy.ExtraUploadBytes()
+			extraDown := c.strategy.ExtraDownloadBytes()
+			payload := int64(c.ctx.Model.ParamBytes()*2 + extraUp + extraDown)
+			if t := device.CommTime(payload, e.cfg.Bandwidth); t > worstComm {
+				worstComm = t
+			}
+			e.upBytes += int64(c.ctx.Model.ParamBytes() + extraUp)
+			e.downBytes += int64(c.ctx.Model.ParamBytes() + extraDown)
+		}
+		e.simSeconds += worstCompute + worstComm
+		e.commSeconds += worstComm
+
+		// Aggregation (FedAvg weighted by client training-sample counts).
+		e.aggregate(taskIdx)
+	}
+	for _, c := range e.clients {
+		c.offline = false
+	}
+	// Task end: extraction, memory updates, then the OOM check the paper's
+	// heterogeneity study exercises (FedWEIT exhausts the 2 GB Pi's memory
+	// after ~7 tasks).
+	for _, c := range e.clients {
+		if !c.alive {
+			continue
+		}
+		c.strategy.TaskEnd(c.seq[taskIdx])
+		if e.cfg.MemScale > 0 {
+			used := float64(c.ctx.Model.ParamBytes()*4+c.strategy.MemoryBytes()) * e.cfg.MemScale
+			if used > float64(c.dev.MemBytes) {
+				c.alive = false
+				res.DeadAfter[c.ctx.ID] = taskIdx
+			}
+		}
+	}
+}
+
+// aggregate performs FedAvg over alive clients and installs the global
+// model, then invokes AfterAggregate with each client's pre-aggregation
+// parameters.
+func (e *Engine) aggregate(taskIdx int) {
+	var total float64
+	pre := make([][]float32, len(e.clients))
+	var global []float32
+	for i, c := range e.clients {
+		if !c.alive || c.offline {
+			continue
+		}
+		flat := nn.FlattenParams(c.ctx.Model.Params())
+		pre[i] = flat
+		w := float64(len(c.seq[taskIdx].Train))
+		if w == 0 {
+			w = 1
+		}
+		total += w
+		if global == nil {
+			global = make([]float32, len(flat))
+		}
+		tensor.AxpySlice(global, float32(w), flat)
+	}
+	if global == nil {
+		return
+	}
+	inv := float32(1 / total)
+	for i := range global {
+		global[i] *= inv
+	}
+	e.forEachAlive(func(c *client) {
+		mask := c.strategy.AggregateMask()
+		if mask == nil {
+			nn.SetFlatParams(c.ctx.Model.Params(), global)
+		} else {
+			merged := append([]float32(nil), pre[c.ctx.ID]...)
+			for j, use := range mask {
+				if use {
+					merged[j] = global[j]
+				}
+			}
+			nn.SetFlatParams(c.ctx.Model.Params(), merged)
+		}
+		c.strategy.AfterAggregate(pre[c.ctx.ID], c.seq[taskIdx])
+	})
+}
+
+// evaluate fills row taskIdx of the accuracy matrix: for every learned task
+// position, the mean over alive clients of task-aware top-1 accuracy on the
+// client's own test split.
+func (e *Engine) evaluate(taskIdx int, res *Result) {
+	type row struct{ accs []float64 }
+	rows := make([]row, len(e.clients))
+	e.forEachAlive(func(c *client) {
+		accs := make([]float64, taskIdx+1)
+		for p := 0; p <= taskIdx; p++ {
+			accs[p] = EvalClientTask(c.ctx.Model, c.seq[p])
+		}
+		rows[c.ctx.ID] = row{accs: accs}
+	})
+	for p := 0; p <= taskIdx; p++ {
+		var s float64
+		n := 0
+		for _, r := range rows {
+			if r.accs != nil {
+				s += r.accs[p]
+				n++
+			}
+		}
+		if n > 0 {
+			res.Matrix.Set(taskIdx, p, s/float64(n))
+		}
+	}
+}
+
+// EvalClientTask computes task-aware top-1 accuracy of the model on a
+// client task's test samples (argmax restricted to the task's classes).
+func EvalClientTask(m *model.Model, ct data.ClientTask) float64 {
+	if len(ct.Test) == 0 {
+		return 0
+	}
+	const evalBatch = 32
+	correct := 0
+	for start := 0; start < len(ct.Test); start += evalBatch {
+		end := start + evalBatch
+		if end > len(ct.Test) {
+			end = len(ct.Test)
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := data.Batch(ct.Test, idx, m.InC, m.InH, m.InW)
+		logits := m.Forward(x, false)
+		for i := range idx {
+			if logits.ArgMaxRow(i, ct.Classes) == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(ct.Test))
+}
+
+// nextBatch draws the next batch of a client task, reshuffling each epoch.
+func (c *client) nextBatch(ct data.ClientTask, batchSize int) (*tensor.Tensor, []int) {
+	n := len(ct.Train)
+	if batchSize > n {
+		batchSize = n
+	}
+	idx := make([]int, 0, batchSize)
+	for len(idx) < batchSize {
+		if c.cur >= len(c.order) {
+			c.order = c.ctx.RNG.Perm(n)
+			c.cur = 0
+		}
+		idx = append(idx, c.order[c.cur])
+		c.cur++
+	}
+	m := c.ctx.Model
+	return data.Batch(ct.Train, idx, m.InC, m.InH, m.InW)
+}
+
+// forEachAlive runs fn over alive, online clients with bounded parallelism.
+func (e *Engine) forEachAlive(fn func(c *client)) {
+	par := e.cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, c := range e.clients {
+		if !c.alive || c.offline {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c *client) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// AliveClients reports how many clients have not been evicted.
+func (e *Engine) AliveClients() int {
+	n := 0
+	for _, c := range e.clients {
+		if c.alive {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+// Package model is the DNN zoo: the 6-layer CNN and ResNet-18 the paper's
+// main evaluation trains (§V-A), plus the eight architectures of the
+// applicability study (§V-E) spanning the survey's six categories — depth
+// (ResNet-152), multi-path (DenseNet), width (InceptionV3, ResNeXt,
+// WideResNet), feature-map exploitation/attention (SENet18), and lightweight
+// (MobileNetV2 ×1.0/×2.0, ShuffleNetV2).
+//
+// Topologies are genuine (residual/bottleneck/dense/inception/grouped/SE/
+// inverted-residual/shuffle blocks with the published block counts);
+// channel widths are scaled down by a constructor parameter so the pure-Go
+// substrate trains them on CPU. See DESIGN.md substitution #4.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model wraps a network with its metadata and measured per-sample cost.
+type Model struct {
+	Name       string
+	Net        nn.Layer
+	NumClasses int
+	InC        int
+	InH, InW   int
+
+	flopsPerSample float64
+	params         []*nn.Param
+}
+
+// Forward runs the network.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.Net.Forward(x, train)
+}
+
+// Backward back-propagates an output gradient.
+func (m *Model) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return m.Net.Backward(dout)
+}
+
+// Params returns the cached parameter list.
+func (m *Model) Params() []*nn.Param {
+	if m.params == nil {
+		m.params = m.Net.Params()
+	}
+	return m.params
+}
+
+// NumParams returns the scalar parameter count.
+func (m *Model) NumParams() int { return nn.NumParams(m.Params()) }
+
+// ParamBytes returns the dense float32 size of the model, the unit of
+// federated communication accounting.
+func (m *Model) ParamBytes() int { return m.NumParams() * 4 }
+
+// FLOPsPerSample lazily measures the forward cost of one sample by probing
+// with a batch of one. Backward is accounted as 2× forward, the standard
+// rule of thumb, by the device model.
+func (m *Model) FLOPsPerSample() float64 {
+	if m.flopsPerSample == 0 {
+		x := tensor.New(1, m.InC, m.InH, m.InW)
+		m.Net.Forward(x, false)
+		m.flopsPerSample = nn.TotalFLOPs(m.Net)
+	}
+	return m.flopsPerSample
+}
+
+// Builder constructs a model for the given class count, input geometry and
+// width scale (1 = the package's scaled default width).
+type Builder func(numClasses, inC, inH, inW, width int, rng *tensor.RNG) *Model
+
+var registry = map[string]Builder{}
+
+func register(name string, b Builder) { registry[name] = b }
+
+// Build constructs a registered architecture by name.
+func Build(name string, numClasses, inC, inH, inW, width int, rng *tensor.RNG) (*Model, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown architecture %q", name)
+	}
+	return b(numClasses, inC, inH, inW, width, rng), nil
+}
+
+// MustBuild is Build for static names; it panics on unknown architectures.
+func MustBuild(name string, numClasses, inC, inH, inW, width int, rng *tensor.RNG) *Model {
+	m, err := Build(name, numClasses, inC, inH, inW, width, rng)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names lists the registered architectures, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

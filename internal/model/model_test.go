@@ -1,0 +1,195 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// allModels builds every registered architecture at the smallest width on a
+// tiny input.
+func allModels(t *testing.T) []*Model {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	var ms []*Model
+	for _, name := range Names() {
+		m, err := Build(name, 7, 3, 12, 12, 1, rng.Fork(1))
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func TestRegistryHasAllPaperArchitectures(t *testing.T) {
+	want := []string{"SixCNN", "ResNet18", "ResNet152", "DenseNet", "InceptionV3",
+		"ResNeXt", "WideResNet", "SENet18", "MobileNetV2", "MobileNetV2x2", "ShuffleNetV2"}
+	names := map[string]bool{}
+	for _, n := range Names() {
+		names[n] = true
+	}
+	for _, w := range want {
+		if !names[w] {
+			t.Fatalf("missing architecture %s", w)
+		}
+	}
+}
+
+func TestBuildUnknownFails(t *testing.T) {
+	if _, err := Build("NopeNet", 10, 3, 16, 16, 1, tensor.NewRNG(1)); err == nil {
+		t.Fatal("unknown architecture must error")
+	}
+}
+
+func TestAllModelsForwardShape(t *testing.T) {
+	for _, m := range allModels(t) {
+		x := tensor.Randn(tensor.NewRNG(2), 1, 2, 3, 12, 12)
+		y := m.Forward(x, false)
+		if y.Shape[0] != 2 || y.Shape[1] != 7 {
+			t.Fatalf("%s: output shape %v, want (2,7)", m.Name, y.Shape)
+		}
+		for _, v := range y.Data {
+			if v != v { // NaN check
+				t.Fatalf("%s: NaN in output", m.Name)
+			}
+		}
+	}
+}
+
+func TestAllModelsBackwardRuns(t *testing.T) {
+	for _, m := range allModels(t) {
+		x := tensor.Randn(tensor.NewRNG(3), 1, 2, 3, 12, 12)
+		logits := m.Forward(x, true)
+		_, dl := nn.CrossEntropy(logits, []int{0, 3})
+		nn.ZeroGrads(m.Params())
+		m.Backward(dl)
+		// At least one parameter must receive gradient signal.
+		var any bool
+		for _, p := range m.Params() {
+			for _, g := range p.Grad.Data {
+				if g != 0 {
+					any = true
+					break
+				}
+			}
+			if any {
+				break
+			}
+		}
+		if !any {
+			t.Fatalf("%s: backward produced all-zero gradients", m.Name)
+		}
+	}
+}
+
+func TestParamCountsOrdering(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	small := MustBuild("MobileNetV2", 10, 3, 12, 12, 1, rng.Fork(1))
+	big := MustBuild("ResNet152", 10, 3, 12, 12, 1, rng.Fork(2))
+	wide := MustBuild("WideResNet", 10, 3, 12, 12, 1, rng.Fork(3))
+	if small.NumParams() >= big.NumParams() {
+		t.Fatalf("MobileNetV2 (%d) should be smaller than ResNet152 (%d)",
+			small.NumParams(), big.NumParams())
+	}
+	if small.NumParams() >= wide.NumParams() {
+		t.Fatalf("MobileNetV2 (%d) should be smaller than WideResNet (%d)",
+			small.NumParams(), wide.NumParams())
+	}
+}
+
+func TestMobileNetWidthMultiplier(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	x1 := MustBuild("MobileNetV2", 10, 3, 12, 12, 1, rng.Fork(1))
+	x2 := MustBuild("MobileNetV2x2", 10, 3, 12, 12, 1, rng.Fork(2))
+	if x2.NumParams() <= x1.NumParams() {
+		t.Fatal("×2 multiplier must increase parameters")
+	}
+}
+
+func TestParamBytes(t *testing.T) {
+	m := MustBuild("SixCNN", 10, 3, 12, 12, 1, tensor.NewRNG(6))
+	if m.ParamBytes() != m.NumParams()*4 {
+		t.Fatal("ParamBytes must be 4 per scalar")
+	}
+}
+
+func TestFLOPsPerSamplePositiveAndCached(t *testing.T) {
+	m := MustBuild("ResNet18", 10, 3, 12, 12, 1, tensor.NewRNG(7))
+	f1 := m.FLOPsPerSample()
+	if f1 <= 0 {
+		t.Fatalf("FLOPs = %v", f1)
+	}
+	if m.FLOPsPerSample() != f1 {
+		t.Fatal("FLOPs must be cached")
+	}
+}
+
+func TestFLOPsOrdering(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	six := MustBuild("SixCNN", 10, 3, 12, 12, 1, rng.Fork(1))
+	deep := MustBuild("ResNet152", 10, 3, 12, 12, 1, rng.Fork(2))
+	if six.FLOPsPerSample() >= deep.FLOPsPerSample() {
+		t.Fatalf("SixCNN FLOPs (%v) should be below ResNet152 (%v)",
+			six.FLOPsPerSample(), deep.FLOPsPerSample())
+	}
+}
+
+func TestWidthScalesParameters(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	w1 := MustBuild("ResNet18", 10, 3, 12, 12, 1, rng.Fork(1))
+	w2 := MustBuild("ResNet18", 10, 3, 12, 12, 2, rng.Fork(2))
+	if w2.NumParams() <= w1.NumParams() {
+		t.Fatal("doubling width must increase parameters")
+	}
+}
+
+func TestModelLearnsTinyProblem(t *testing.T) {
+	// SixCNN must fit a two-class toy problem: accuracy well above chance
+	// after a few gradient steps. This is the substrate's end-to-end
+	// learning sanity check.
+	rng := tensor.NewRNG(10)
+	m := MustBuild("SixCNN", 2, 1, 8, 8, 1, rng.Fork(1))
+	// class 0: top-half bright; class 1: bottom-half bright.
+	mk := func(class int, r *tensor.RNG) []float32 {
+		img := make([]float32, 64)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v := float32(r.Norm() * 0.3)
+				if (class == 0 && y < 4) || (class == 1 && y >= 4) {
+					v += 1.5
+				}
+				img[y*8+x] = v
+			}
+		}
+		return img
+	}
+	n := 32
+	x := tensor.New(n, 1, 8, 8)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		class := i % 2
+		copy(x.Data[i*64:(i+1)*64], mk(class, rng))
+		labels[i] = class
+	}
+	for step := 0; step < 40; step++ {
+		logits := m.Forward(x, true)
+		_, dl := nn.CrossEntropy(logits, labels)
+		nn.ZeroGrads(m.Params())
+		m.Backward(dl)
+		for _, p := range m.Params() {
+			p.W.Axpy(-0.05, p.Grad)
+		}
+	}
+	logits := m.Forward(x, false)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.ArgMaxRow(i, nil) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.9 {
+		t.Fatalf("SixCNN training accuracy %v, want ≥ 0.9", acc)
+	}
+}

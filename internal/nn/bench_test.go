@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkConvForward(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	l := NewConv2D("c", 16, 32, 3, 1, 1, 1, false, rng)
+	x := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	l := NewConv2D("c", 16, 32, 3, 1, 1, 1, false, rng)
+	x := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	y := l.Forward(x, true)
+	dout := tensor.Randn(rng, 1, y.Shape...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ZeroGrads(l.Params())
+		l.Backward(dout)
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	l := NewBatchNorm2D("bn", 32, rng)
+	x := tensor.Randn(rng, 1, 8, 32, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+func BenchmarkCrossEntropy(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	logits := tensor.Randn(rng, 1, 32, 100)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossEntropy(logits, labels)
+	}
+}

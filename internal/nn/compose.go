@@ -1,0 +1,299 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Identity passes its input through unchanged. Used as the default shortcut
+// in residual blocks.
+type Identity struct{}
+
+// NewIdentity returns an Identity layer.
+func NewIdentity() *Identity { return &Identity{} }
+
+// Forward returns x.
+func (Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward returns dout.
+func (Identity) Backward(dout *tensor.Tensor) *tensor.Tensor { return dout }
+
+// Params returns nil.
+func (Identity) Params() []*Param { return nil }
+
+// Residual computes Body(x) + Shortcut(x): the basic skip connection of
+// ResNet-family architectures.
+type Residual struct {
+	Body     Layer
+	Shortcut Layer
+}
+
+// NewResidual returns a residual block; a nil shortcut means identity.
+func NewResidual(body, shortcut Layer) *Residual {
+	if shortcut == nil {
+		shortcut = NewIdentity()
+	}
+	return &Residual{Body: body, Shortcut: shortcut}
+}
+
+// Forward evaluates both paths and adds them.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	a := r.Body.Forward(x, train)
+	b := r.Shortcut.Forward(x, train)
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("nn: residual shape mismatch %v + %v", a.Shape, b.Shape))
+	}
+	y := a.Clone()
+	y.AddInPlace(b)
+	return y
+}
+
+// Backward splits the gradient into both paths and sums the input gradients.
+func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	da := r.Body.Backward(dout)
+	db := r.Shortcut.Backward(dout)
+	dx := da.Clone()
+	dx.AddInPlace(db)
+	return dx
+}
+
+// Params concatenates parameters of both paths.
+func (r *Residual) Params() []*Param {
+	return append(append([]*Param{}, r.Body.Params()...), r.Shortcut.Params()...)
+}
+
+// Concat runs branches in parallel on the same input and concatenates their
+// NCHW outputs along the channel dimension (DenseNet, Inception,
+// ShuffleNetV2 all need this).
+type Concat struct {
+	Branches []Layer
+
+	lastChannels []int
+	lastH, lastW int
+}
+
+// NewConcat returns a channel-concatenation container.
+func NewConcat(branches ...Layer) *Concat { return &Concat{Branches: branches} }
+
+// Forward evaluates every branch and stacks channels.
+func (c *Concat) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(c.Branches))
+	totalC := 0
+	c.lastChannels = c.lastChannels[:0]
+	for i, br := range c.Branches {
+		outs[i] = br.Forward(x, train)
+		if len(outs[i].Shape) != 4 {
+			panic("nn: Concat branches must output NCHW")
+		}
+		c.lastChannels = append(c.lastChannels, outs[i].Shape[1])
+		totalC += outs[i].Shape[1]
+	}
+	n, h, w := outs[0].Shape[0], outs[0].Shape[2], outs[0].Shape[3]
+	c.lastH, c.lastW = h, w
+	y := tensor.New(n, totalC, h, w)
+	spatial := h * w
+	for i := 0; i < n; i++ {
+		chOff := 0
+		for bi, o := range outs {
+			bc := c.lastChannels[bi]
+			src := o.Data[i*bc*spatial : (i+1)*bc*spatial]
+			dst := y.Data[(i*totalC+chOff)*spatial : (i*totalC+chOff+bc)*spatial]
+			copy(dst, src)
+			chOff += bc
+		}
+	}
+	return y
+}
+
+// Backward slices the gradient per branch and sums the input gradients.
+func (c *Concat) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Shape[0]
+	totalC := dout.Shape[1]
+	spatial := c.lastH * c.lastW
+	var dx *tensor.Tensor
+	chOff := 0
+	for bi, br := range c.Branches {
+		bc := c.lastChannels[bi]
+		db := tensor.New(n, bc, c.lastH, c.lastW)
+		for i := 0; i < n; i++ {
+			src := dout.Data[(i*totalC+chOff)*spatial : (i*totalC+chOff+bc)*spatial]
+			copy(db.Data[i*bc*spatial:(i+1)*bc*spatial], src)
+		}
+		d := br.Backward(db)
+		if dx == nil {
+			dx = d.Clone()
+		} else {
+			dx.AddInPlace(d)
+		}
+		chOff += bc
+	}
+	return dx
+}
+
+// Params concatenates all branch parameters.
+func (c *Concat) Params() []*Param {
+	var ps []*Param
+	for _, b := range c.Branches {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// ChannelShuffle permutes channels between groups (ShuffleNetV2): channels
+// laid out as (groups, perGroup) become (perGroup, groups).
+type ChannelShuffle struct {
+	Groups int
+
+	lastShape []int
+}
+
+// NewChannelShuffle returns a shuffle over the given group count.
+func NewChannelShuffle(groups int) *ChannelShuffle { return &ChannelShuffle{Groups: groups} }
+
+// Forward permutes channels.
+func (s *ChannelShuffle) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c%s.Groups != 0 {
+		panic(fmt.Sprintf("nn: shuffle groups %d must divide channels %d", s.Groups, c))
+	}
+	s.lastShape = append(s.lastShape[:0], x.Shape...)
+	per := c / s.Groups
+	spatial := h * w
+	y := tensor.New(x.Shape...)
+	for i := 0; i < n; i++ {
+		for g := 0; g < s.Groups; g++ {
+			for p := 0; p < per; p++ {
+				src := x.Data[(i*c+g*per+p)*spatial : (i*c+g*per+p+1)*spatial]
+				dst := y.Data[(i*c+p*s.Groups+g)*spatial : (i*c+p*s.Groups+g+1)*spatial]
+				copy(dst, src)
+			}
+		}
+	}
+	return y
+}
+
+// Backward applies the inverse permutation.
+func (s *ChannelShuffle) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := s.lastShape[0], s.lastShape[1], s.lastShape[2], s.lastShape[3]
+	per := c / s.Groups
+	spatial := h * w
+	dx := tensor.New(s.lastShape...)
+	for i := 0; i < n; i++ {
+		for g := 0; g < s.Groups; g++ {
+			for p := 0; p < per; p++ {
+				src := dout.Data[(i*c+p*s.Groups+g)*spatial : (i*c+p*s.Groups+g+1)*spatial]
+				dst := dx.Data[(i*c+g*per+p)*spatial : (i*c+g*per+p+1)*spatial]
+				copy(dst, src)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (s *ChannelShuffle) Params() []*Param { return nil }
+
+// SEBlock is a squeeze-and-excitation gate: global average pool → FC →
+// ReLU → FC → sigmoid, whose output re-scales each channel of the input.
+type SEBlock struct {
+	C, Reduced int
+	FC1, FC2   *Linear
+	relu       *ReLU
+	sig        *Sigmoid
+
+	lastX     *tensor.Tensor
+	lastGate  *tensor.Tensor
+	lastShape []int
+}
+
+// NewSEBlock returns a squeeze-and-excitation block over c channels with the
+// given reduction ratio (typical value 4 or 16).
+func NewSEBlock(name string, c, reduction int, rng *tensor.RNG) *SEBlock {
+	red := c / reduction
+	if red < 1 {
+		red = 1
+	}
+	return &SEBlock{
+		C: c, Reduced: red,
+		FC1:  NewLinear(name+".fc1", c, red, rng),
+		FC2:  NewLinear(name+".fc2", red, c, rng),
+		relu: NewReLU(),
+		sig:  NewSigmoid(),
+	}
+}
+
+// Forward computes channel gates and rescales x.
+func (s *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	s.lastX = x
+	s.lastShape = append(s.lastShape[:0], x.Shape...)
+	// squeeze
+	sq := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	spatial := h * w
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * spatial
+			var sum float32
+			for j := 0; j < spatial; j++ {
+				sum += x.Data[base+j]
+			}
+			sq.Data[i*c+ch] = sum * inv
+		}
+	}
+	// excite
+	gate := s.sig.Forward(s.FC2.Forward(s.relu.Forward(s.FC1.Forward(sq, train), train), train), train)
+	s.lastGate = gate
+	// scale
+	y := tensor.New(x.Shape...)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			g := gate.Data[i*c+ch]
+			base := (i*c + ch) * spatial
+			for j := 0; j < spatial; j++ {
+				y.Data[base+j] = x.Data[base+j] * g
+			}
+		}
+	}
+	return y
+}
+
+// Backward differentiates through both the scaling and the gate path.
+func (s *SEBlock) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := s.lastShape[0], s.lastShape[1], s.lastShape[2], s.lastShape[3]
+	spatial := h * w
+	// dGate[i,ch] = sum_j dout * x ; dx (scale path) = dout * gate
+	dgate := tensor.New(n, c)
+	dx := tensor.New(s.lastShape...)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * spatial
+			g := s.lastGate.Data[i*c+ch]
+			var dg float32
+			for j := 0; j < spatial; j++ {
+				dg += dout.Data[base+j] * s.lastX.Data[base+j]
+				dx.Data[base+j] = dout.Data[base+j] * g
+			}
+			dgate.Data[i*c+ch] = dg
+		}
+	}
+	// back through FC2∘ReLU∘FC1∘squeeze
+	dsq := s.FC1.Backward(s.relu.Backward(s.FC2.Backward(s.sig.Backward(dgate))))
+	inv := 1 / float32(spatial)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * spatial
+			g := dsq.Data[i*c+ch] * inv
+			for j := 0; j < spatial; j++ {
+				dx.Data[base+j] += g
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the two FC layers' parameters.
+func (s *SEBlock) Params() []*Param {
+	return append(s.FC1.Params(), s.FC2.Params()...)
+}

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW batches, implemented as im2col +
+// GEMM. Groups splits input and output channels into independent groups
+// (groups == InC == OutC gives a depthwise convolution).
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad, Groups int
+	Bias                              bool
+	W                                 *Param // (OutC, InC/Groups * K * K)
+	B                                 *Param // (OutC), nil when Bias is false
+
+	lastX        *tensor.Tensor
+	lastCols     []float32 // im2col buffers for the whole batch, reused
+	lastOutH     int
+	lastOutW     int
+	lastN        int
+	lastInH      int
+	lastInW      int
+	flops        float64
+	colsPerImage int
+}
+
+// NewConv2D builds a convolution with Kaiming-normal initialisation.
+func NewConv2D(name string, inC, outC, k, stride, pad, groups int, bias bool, rng *tensor.RNG) *Conv2D {
+	if inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("nn: conv groups %d must divide inC %d and outC %d", groups, inC, outC))
+	}
+	fanIn := inC / groups * k * k
+	w := tensor.New(outC, fanIn)
+	rng.FillNorm(w.Data, math.Sqrt(2.0/float64(fanIn)))
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, Groups: groups,
+		Bias: bias, W: NewParam(name+".w", w)}
+	if bias {
+		c.B = NewParam(name+".b", tensor.New(outC))
+	}
+	return c
+}
+
+// Forward convolves a batch of shape (N, InC, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: conv input shape %v, want (N,%d,H,W)", x.Shape, c.InC))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	outH := tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
+	outW := tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
+	gi := c.InC / c.Groups   // input channels per group
+	go_ := c.OutC / c.Groups // output channels per group
+	fanIn := gi * c.K * c.K
+	c.colsPerImage = c.InC * c.K * c.K * outH * outW
+	need := n * c.colsPerImage
+	if cap(c.lastCols) < need {
+		c.lastCols = make([]float32, need)
+	}
+	c.lastCols = c.lastCols[:need]
+	c.lastX, c.lastN, c.lastInH, c.lastInW, c.lastOutH, c.lastOutW = x, n, h, w, outH, outW
+
+	y := tensor.New(n, c.OutC, outH, outW)
+	imgSize := c.InC * h * w
+	outImg := c.OutC * outH * outW
+	spatial := outH * outW
+	for i := 0; i < n; i++ {
+		cols := c.lastCols[i*c.colsPerImage : (i+1)*c.colsPerImage]
+		tensor.Im2Col(cols, x.Data[i*imgSize:(i+1)*imgSize], c.InC, h, w, c.K, c.K, c.Stride, c.Pad, outH, outW)
+		for g := 0; g < c.Groups; g++ {
+			wg := c.W.W.Data[g*go_*fanIn : (g+1)*go_*fanIn]
+			cg := cols[g*gi*c.K*c.K*spatial : (g+1)*gi*c.K*c.K*spatial]
+			yg := y.Data[i*outImg+g*go_*spatial : i*outImg+(g+1)*go_*spatial]
+			tensor.Gemm(yg, wg, cg, go_, fanIn, spatial, false, false)
+		}
+		if c.Bias {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.B.W.Data[oc]
+				row := y.Data[i*outImg+oc*spatial : i*outImg+(oc+1)*spatial]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	}
+	c.flops = 2 * float64(n) * float64(c.OutC) * float64(fanIn) * float64(spatial)
+	return y
+}
+
+// Backward accumulates dW (and dB) and returns dX via the col2im adjoint.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, outH, outW := c.lastN, c.lastOutH, c.lastOutW
+	h, w := c.lastInH, c.lastInW
+	gi := c.InC / c.Groups
+	go_ := c.OutC / c.Groups
+	fanIn := gi * c.K * c.K
+	spatial := outH * outW
+	outImg := c.OutC * spatial
+	imgSize := c.InC * h * w
+
+	dx := tensor.New(n, c.InC, h, w)
+	dcols := make([]float32, c.InC*c.K*c.K*spatial)
+	for i := 0; i < n; i++ {
+		cols := c.lastCols[i*c.colsPerImage : (i+1)*c.colsPerImage]
+		for j := range dcols {
+			dcols[j] = 0
+		}
+		for g := 0; g < c.Groups; g++ {
+			dyg := dout.Data[i*outImg+g*go_*spatial : i*outImg+(g+1)*go_*spatial]
+			cg := cols[g*gi*c.K*c.K*spatial : (g+1)*gi*c.K*c.K*spatial]
+			// dW += dY × cols^T  → (go_, fanIn)
+			dwg := c.W.Grad.Data[g*go_*fanIn : (g+1)*go_*fanIn]
+			tensor.Gemm(dwg, dyg, cg, go_, spatial, fanIn, false, true)
+			// dCols = W^T × dY → (fanIn, spatial)
+			dcg := dcols[g*gi*c.K*c.K*spatial : (g+1)*gi*c.K*c.K*spatial]
+			wg := c.W.W.Data[g*go_*fanIn : (g+1)*go_*fanIn]
+			tensor.Gemm(dcg, wg, dyg, fanIn, go_, spatial, true, false)
+		}
+		if c.Bias {
+			for oc := 0; oc < c.OutC; oc++ {
+				row := dout.Data[i*outImg+oc*spatial : i*outImg+(oc+1)*spatial]
+				var s float32
+				for _, v := range row {
+					s += v
+				}
+				c.B.Grad.Data[oc] += s
+			}
+		}
+		tensor.Col2Im(dx.Data[i*imgSize:(i+1)*imgSize], dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, outH, outW)
+	}
+	return dx
+}
+
+// Params returns the kernel (and bias when present).
+func (c *Conv2D) Params() []*Param {
+	if c.Bias {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}
+
+// FLOPs reports the work of the most recent forward pass.
+func (c *Conv2D) FLOPs() float64 { return c.flops }

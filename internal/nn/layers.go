@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = xW^T + b, with x of shape (N, In).
+type Linear struct {
+	In, Out int
+	W       *Param // (Out, In)
+	B       *Param // (Out)
+
+	lastX *tensor.Tensor
+	flops float64
+}
+
+// NewLinear builds a Linear layer with Kaiming-uniform initialisation.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	w := tensor.New(out, in)
+	bound := math.Sqrt(6.0 / float64(in))
+	rng.FillUniform(w.Data, -bound, bound)
+	b := tensor.New(out)
+	return &Linear{In: in, Out: out, W: NewParam(name+".w", w), B: NewParam(name+".b", b)}
+}
+
+// Forward computes the affine map for a batch.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	x2 := x.Reshape(n, l.In)
+	l.lastX = x2
+	y := tensor.New(n, l.Out)
+	// y = x × W^T
+	tensor.Gemm(y.Data, x2.Data, l.W.W.Data, n, l.In, l.Out, false, true)
+	for i := 0; i < n; i++ {
+		row := y.Data[i*l.Out : (i+1)*l.Out]
+		for j, b := range l.B.W.Data {
+			row[j] += b
+		}
+	}
+	l.flops = 2 * float64(n) * float64(l.In) * float64(l.Out)
+	return y
+}
+
+// Backward accumulates dW, dB and returns dX.
+func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Shape[0]
+	// dW += dout^T × x  → (Out, In)
+	tensor.Gemm(l.W.Grad.Data, dout.Data, l.lastX.Data, l.Out, n, l.In, true, false)
+	for i := 0; i < n; i++ {
+		row := dout.Data[i*l.Out : (i+1)*l.Out]
+		for j, g := range row {
+			l.B.Grad.Data[j] += g
+		}
+	}
+	dx := tensor.New(n, l.In)
+	// dX = dout × W
+	tensor.Gemm(dx.Data, dout.Data, l.W.W.Data, n, l.Out, l.In, false, false)
+	return dx
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// FLOPs reports the work of the most recent forward pass.
+func (l *Linear) FLOPs() float64 { return l.flops }
+
+// ReLU is max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// ReLU6 is min(max(0,x),6), used by MobileNetV2.
+type ReLU6 struct {
+	mask []bool
+}
+
+// NewReLU6 returns a ReLU6 activation.
+func NewReLU6() *ReLU6 { return &ReLU6{} }
+
+// Forward clamps to [0, 6].
+func (r *ReLU6) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		switch {
+		case v <= 0:
+			y.Data[i] = 0
+			r.mask[i] = false
+		case v >= 6:
+			y.Data[i] = 6
+			r.mask[i] = false
+		default:
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward passes gradient only through the linear region.
+func (r *ReLU6) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (r *ReLU6) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation, used in squeeze-and-excitation gates.
+type Sigmoid struct {
+	lastY *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid activation.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies 1/(1+e^-x).
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	s.lastY = y
+	return y
+}
+
+// Backward multiplies by y(1-y).
+func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape...)
+	for i, g := range dout.Data {
+		y := s.lastY.Data[i]
+		dx.Data[i] = g * y * (1 - y)
+	}
+	return dx
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Flatten reshapes (N, C, H, W) to (N, C*H*W).
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = append(f.lastShape[:0], x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.lastShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }

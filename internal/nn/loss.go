@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Softmax computes row-wise softmax of a (N, K) logits tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	p := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		out := p.Data[i*k : (i+1)*k]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			out[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return p
+}
+
+// CrossEntropy computes mean cross-entropy between logits (N, K) and integer
+// labels, returning the scalar loss and the gradient w.r.t. the logits.
+// Labels outside [0, K) panic: callers must remap task classes first.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic("nn: CrossEntropy label count mismatch")
+	}
+	p := Softmax(logits)
+	dlogits := p.Clone()
+	var loss float64
+	invN := 1 / float64(n)
+	for i, y := range labels {
+		if y < 0 || y >= k {
+			panic("nn: CrossEntropy label out of range")
+		}
+		loss -= math.Log(math.Max(float64(p.Data[i*k+y]), 1e-12))
+		dlogits.Data[i*k+y] -= 1
+	}
+	dlogits.ScaleInPlace(float32(invN))
+	return loss * invN, dlogits
+}
+
+// SoftCrossEntropy computes mean cross-entropy between logits (N, K) and a
+// target probability distribution (N, K), returning loss and logits
+// gradient. This is the distillation loss the gradient restorer uses
+// (Eq. 2 of the paper): targets are the soft outputs of the knowledge model.
+func SoftCrossEntropy(logits, targets *tensor.Tensor) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if targets.Shape[0] != n || targets.Shape[1] != k {
+		panic("nn: SoftCrossEntropy shape mismatch")
+	}
+	p := Softmax(logits)
+	dlogits := tensor.New(n, k)
+	var loss float64
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			t := float64(targets.Data[i*k+j])
+			if t > 0 {
+				loss -= t * math.Log(math.Max(float64(p.Data[i*k+j]), 1e-12))
+			}
+			dlogits.Data[i*k+j] = (p.Data[i*k+j] - targets.Data[i*k+j]) * float32(invN)
+		}
+	}
+	return loss * invN, dlogits
+}
+
+// MaskedCrossEntropy is CrossEntropy restricted to a subset of classes
+// (task-aware continual learning): logits outside the candidate set are
+// treated as -inf so they receive zero probability and zero gradient.
+func MaskedCrossEntropy(logits *tensor.Tensor, labels []int, classes []int) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	masked := tensor.New(n, k)
+	masked.Fill(float32(math.Inf(-1)))
+	for i := 0; i < n; i++ {
+		for _, c := range classes {
+			masked.Data[i*k+c] = logits.Data[i*k+c]
+		}
+	}
+	p := Softmax(masked)
+	dlogits := tensor.New(n, k)
+	var loss float64
+	invN := 1 / float64(n)
+	for i, y := range labels {
+		loss -= math.Log(math.Max(float64(p.Data[i*k+y]), 1e-12))
+		for _, c := range classes {
+			g := p.Data[i*k+c]
+			if c == y {
+				g -= 1
+			}
+			dlogits.Data[i*k+c] = g * float32(invN)
+		}
+	}
+	return loss * invN, dlogits
+}

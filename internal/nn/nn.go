@@ -1,0 +1,135 @@
+// Package nn implements the neural-network substrate: layers with explicit
+// Forward/Backward passes, a parameter registry, and classification losses.
+// Together with internal/tensor it replaces the PyTorch stack the FedKNOW
+// paper builds on.
+//
+// Layers are stateful: Forward caches whatever the matching Backward needs,
+// so a layer instance must not be shared between concurrently-training
+// models. Federated clients each hold their own model; parallelism happens
+// across clients, never inside one model.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is one trainable parameter tensor and its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParam allocates a parameter and matching zero gradient.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape...)}
+}
+
+// Layer is a differentiable module. Forward runs the computation (train
+// selects training-time behaviour, e.g. batch-norm statistics); Backward
+// consumes the gradient w.r.t. the layer output, accumulates parameter
+// gradients, and returns the gradient w.r.t. the layer input.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through the chain in reverse.
+func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar parameters.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// ZeroGrads clears every gradient accumulator.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.Grad.Zero()
+	}
+}
+
+// FlattenParams copies all parameter values into a single vector.
+func FlattenParams(ps []*Param) []float32 {
+	out := make([]float32, 0, NumParams(ps))
+	for _, p := range ps {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
+
+// FlattenGrads copies all gradients into a single vector.
+func FlattenGrads(ps []*Param) []float32 {
+	out := make([]float32, 0, NumParams(ps))
+	for _, p := range ps {
+		out = append(out, p.Grad.Data...)
+	}
+	return out
+}
+
+// SetFlatParams writes a flat vector (as produced by FlattenParams) back
+// into the parameters. Panics if the length does not match.
+func SetFlatParams(ps []*Param, flat []float32) {
+	off := 0
+	for _, p := range ps {
+		n := p.W.Len()
+		if off+n > len(flat) {
+			panic(fmt.Sprintf("nn: SetFlatParams short vector (%d < %d)", len(flat), NumParams(ps)))
+		}
+		copy(p.W.Data, flat[off:off+n])
+		off += n
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("nn: SetFlatParams length %d, params need %d", len(flat), off))
+	}
+}
+
+// SetFlatGrads writes a flat vector into the gradient accumulators.
+func SetFlatGrads(ps []*Param, flat []float32) {
+	off := 0
+	for _, p := range ps {
+		n := p.Grad.Len()
+		copy(p.Grad.Data, flat[off:off+n])
+		off += n
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("nn: SetFlatGrads length %d, params need %d", len(flat), off))
+	}
+}

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalises each channel of an NCHW batch to zero mean and unit
+// variance with learnable scale (gamma) and shift (beta). During evaluation
+// it uses exponential running statistics collected in training.
+type BatchNorm2D struct {
+	C        int
+	Eps      float64
+	Momentum float64
+	Gamma    *Param
+	Beta     *Param
+
+	RunningMean []float32
+	RunningVar  []float32
+
+	// forward cache
+	lastXHat  *tensor.Tensor
+	lastStd   []float64
+	lastShape []int
+}
+
+// NewBatchNorm2D returns a batch-norm over c channels.
+func NewBatchNorm2D(name string, c int, rng *tensor.RNG) *BatchNorm2D {
+	g := tensor.New(c)
+	g.Fill(1)
+	bn := &BatchNorm2D{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       NewParam(name+".gamma", g),
+		Beta:        NewParam(name+".beta", tensor.New(c)),
+		RunningMean: make([]float32, c),
+		RunningVar:  make([]float32, c),
+	}
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalises per channel.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	spatial := h * w
+	cnt := float64(n * spatial)
+	y := tensor.New(x.Shape...)
+	b.lastShape = append(b.lastShape[:0], x.Shape...)
+	if train {
+		b.lastXHat = tensor.New(x.Shape...)
+		if cap(b.lastStd) < c {
+			b.lastStd = make([]float64, c)
+		}
+		b.lastStd = b.lastStd[:c]
+		for ch := 0; ch < c; ch++ {
+			var mean float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * spatial
+				for j := 0; j < spatial; j++ {
+					mean += float64(x.Data[base+j])
+				}
+			}
+			mean /= cnt
+			var variance float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * spatial
+				for j := 0; j < spatial; j++ {
+					d := float64(x.Data[base+j]) - mean
+					variance += d * d
+				}
+			}
+			variance /= cnt
+			std := math.Sqrt(variance + b.Eps)
+			b.lastStd[ch] = std
+			g, bt := float64(b.Gamma.W.Data[ch]), float64(b.Beta.W.Data[ch])
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * spatial
+				for j := 0; j < spatial; j++ {
+					xh := (float64(x.Data[base+j]) - mean) / std
+					b.lastXHat.Data[base+j] = float32(xh)
+					y.Data[base+j] = float32(g*xh + bt)
+				}
+			}
+			b.RunningMean[ch] = float32((1-b.Momentum)*float64(b.RunningMean[ch]) + b.Momentum*mean)
+			b.RunningVar[ch] = float32((1-b.Momentum)*float64(b.RunningVar[ch]) + b.Momentum*variance)
+		}
+		return y
+	}
+	for ch := 0; ch < c; ch++ {
+		mean := float64(b.RunningMean[ch])
+		std := math.Sqrt(float64(b.RunningVar[ch]) + b.Eps)
+		g, bt := float64(b.Gamma.W.Data[ch]), float64(b.Beta.W.Data[ch])
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * spatial
+			for j := 0; j < spatial; j++ {
+				y.Data[base+j] = float32(g*(float64(x.Data[base+j])-mean)/std + bt)
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements the standard batch-norm gradient.
+func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c := b.lastShape[0], b.lastShape[1]
+	spatial := b.lastShape[2] * b.lastShape[3]
+	cnt := float64(n * spatial)
+	dx := tensor.New(b.lastShape...)
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXHat float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * spatial
+			for j := 0; j < spatial; j++ {
+				g := float64(dout.Data[base+j])
+				sumDy += g
+				sumDyXHat += g * float64(b.lastXHat.Data[base+j])
+			}
+		}
+		b.Beta.Grad.Data[ch] += float32(sumDy)
+		b.Gamma.Grad.Data[ch] += float32(sumDyXHat)
+		gamma := float64(b.Gamma.W.Data[ch])
+		invStd := 1 / b.lastStd[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * spatial
+			for j := 0; j < spatial; j++ {
+				g := float64(dout.Data[base+j])
+				xh := float64(b.lastXHat.Data[base+j])
+				dx.Data[base+j] = float32(gamma * invStd * (g - sumDy/cnt - xh*sumDyXHat/cnt))
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

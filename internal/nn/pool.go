@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D takes the max over K×K windows with the given stride.
+type MaxPool2D struct {
+	K, Stride int
+
+	lastArg   []int // flat input index chosen per output element
+	lastShape []int
+}
+
+// NewMaxPool2D returns a max-pooling layer.
+func NewMaxPool2D(k, stride int) *MaxPool2D { return &MaxPool2D{K: k, Stride: stride} }
+
+// Forward pools each channel independently.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := tensor.ConvOutSize(h, m.K, m.Stride, 0)
+	outW := tensor.ConvOutSize(w, m.K, m.Stride, 0)
+	y := tensor.New(n, c, outH, outW)
+	if cap(m.lastArg) < y.Len() {
+		m.lastArg = make([]int, y.Len())
+	}
+	m.lastArg = m.lastArg[:y.Len()]
+	m.lastShape = append(m.lastShape[:0], x.Shape...)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < m.K; ky++ {
+						iy := oy*m.Stride + ky
+						if iy >= h {
+							break
+						}
+						for kx := 0; kx < m.K; kx++ {
+							ix := ox*m.Stride + kx
+							if ix >= w {
+								break
+							}
+							idx := base + iy*w + ix
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					y.Data[oi] = best
+					m.lastArg[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes each output gradient to the argmax input position.
+func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.lastShape...)
+	for oi, idx := range m.lastArg {
+		// idx is -1 when the window held no comparable value (all-NaN
+		// inputs from a diverged model); drop the gradient rather than
+		// crash so the caller can detect the NaN loss.
+		if idx >= 0 {
+			dx.Data[idx] += dout.Data[oi]
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// AvgPool2D averages over K×K windows with the given stride.
+type AvgPool2D struct {
+	K, Stride int
+	lastShape []int
+	lastOutH  int
+	lastOutW  int
+}
+
+// NewAvgPool2D returns an average-pooling layer.
+func NewAvgPool2D(k, stride int) *AvgPool2D { return &AvgPool2D{K: k, Stride: stride} }
+
+// Forward pools each channel independently.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := tensor.ConvOutSize(h, a.K, a.Stride, 0)
+	outW := tensor.ConvOutSize(w, a.K, a.Stride, 0)
+	a.lastShape = append(a.lastShape[:0], x.Shape...)
+	a.lastOutH, a.lastOutW = outH, outW
+	y := tensor.New(n, c, outH, outW)
+	inv := 1 / float32(a.K*a.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					var s float32
+					for ky := 0; ky < a.K; ky++ {
+						iy := oy*a.Stride + ky
+						for kx := 0; kx < a.K; kx++ {
+							ix := ox*a.Stride + kx
+							s += x.Data[base+iy*w+ix]
+						}
+					}
+					y.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward spreads each output gradient evenly over its window.
+func (a *AvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := a.lastShape[0], a.lastShape[1], a.lastShape[2], a.lastShape[3]
+	dx := tensor.New(a.lastShape...)
+	inv := 1 / float32(a.K*a.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < a.lastOutH; oy++ {
+				for ox := 0; ox < a.lastOutW; ox++ {
+					g := dout.Data[oi] * inv
+					oi++
+					for ky := 0; ky < a.K; ky++ {
+						iy := oy*a.Stride + ky
+						for kx := 0; kx < a.K; kx++ {
+							ix := ox*a.Stride + kx
+							dx.Data[base+iy*w+ix] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (a *AvgPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces (N, C, H, W) to (N, C) by averaging each channel.
+type GlobalAvgPool struct {
+	lastShape []int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages each channel plane.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	g.lastShape = append(g.lastShape[:0], x.Shape...)
+	y := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			var s float32
+			for j := 0; j < h*w; j++ {
+				s += x.Data[base+j]
+			}
+			y.Data[i*c+ch] = s * inv
+		}
+	}
+	return y
+}
+
+// Backward spreads the channel gradient uniformly over the plane.
+func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
+	dx := tensor.New(g.lastShape...)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			gv := dout.Data[i*c+ch] * inv
+			for j := 0; j < h*w; j++ {
+				dx.Data[base+j] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (g *GlobalAvgPool) Params() []*Param { return nil }

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// SplitConcat routes the first SplitC input channels through branch A and
+// the remaining channels through branch B, then concatenates the two outputs
+// along the channel dimension. This is the channel-split unit of
+// ShuffleNetV2.
+type SplitConcat struct {
+	SplitC int
+	A, B   Layer
+
+	lastShape []int
+	lastAOutC int
+	lastBOutC int
+	lastOutH  int
+	lastOutW  int
+}
+
+// NewSplitConcat returns a split/concat container.
+func NewSplitConcat(splitC int, a, b Layer) *SplitConcat {
+	return &SplitConcat{SplitC: splitC, A: a, B: b}
+}
+
+// Forward splits channels, runs both branches, and concatenates.
+func (s *SplitConcat) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if s.SplitC <= 0 || s.SplitC >= c {
+		panic(fmt.Sprintf("nn: SplitConcat split %d of %d channels", s.SplitC, c))
+	}
+	s.lastShape = append(s.lastShape[:0], x.Shape...)
+	spatial := h * w
+	xa := tensor.New(n, s.SplitC, h, w)
+	xb := tensor.New(n, c-s.SplitC, h, w)
+	for i := 0; i < n; i++ {
+		copy(xa.Data[i*s.SplitC*spatial:(i+1)*s.SplitC*spatial],
+			x.Data[(i*c)*spatial:(i*c+s.SplitC)*spatial])
+		copy(xb.Data[i*(c-s.SplitC)*spatial:(i+1)*(c-s.SplitC)*spatial],
+			x.Data[(i*c+s.SplitC)*spatial:(i+1)*c*spatial])
+	}
+	ya := s.A.Forward(xa, train)
+	yb := s.B.Forward(xb, train)
+	if ya.Shape[2] != yb.Shape[2] || ya.Shape[3] != yb.Shape[3] {
+		panic("nn: SplitConcat branch spatial mismatch")
+	}
+	ca, cb := ya.Shape[1], yb.Shape[1]
+	oh, ow := ya.Shape[2], ya.Shape[3]
+	s.lastAOutC, s.lastBOutC, s.lastOutH, s.lastOutW = ca, cb, oh, ow
+	out := tensor.New(n, ca+cb, oh, ow)
+	osp := oh * ow
+	for i := 0; i < n; i++ {
+		copy(out.Data[(i*(ca+cb))*osp:(i*(ca+cb)+ca)*osp], ya.Data[i*ca*osp:(i+1)*ca*osp])
+		copy(out.Data[(i*(ca+cb)+ca)*osp:(i+1)*(ca+cb)*osp], yb.Data[i*cb*osp:(i+1)*cb*osp])
+	}
+	return out
+}
+
+// Backward splits the output gradient, back-propagates both branches and
+// re-assembles the input gradient.
+func (s *SplitConcat) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c := s.lastShape[0], s.lastShape[1]
+	h, w := s.lastShape[2], s.lastShape[3]
+	ca, cb := s.lastAOutC, s.lastBOutC
+	osp := s.lastOutH * s.lastOutW
+	da := tensor.New(n, ca, s.lastOutH, s.lastOutW)
+	db := tensor.New(n, cb, s.lastOutH, s.lastOutW)
+	for i := 0; i < n; i++ {
+		copy(da.Data[i*ca*osp:(i+1)*ca*osp], dout.Data[(i*(ca+cb))*osp:(i*(ca+cb)+ca)*osp])
+		copy(db.Data[i*cb*osp:(i+1)*cb*osp], dout.Data[(i*(ca+cb)+ca)*osp:(i+1)*(ca+cb)*osp])
+	}
+	dxa := s.A.Backward(da)
+	dxb := s.B.Backward(db)
+	dx := tensor.New(n, c, h, w)
+	spatial := h * w
+	for i := 0; i < n; i++ {
+		copy(dx.Data[(i*c)*spatial:(i*c+s.SplitC)*spatial],
+			dxa.Data[i*s.SplitC*spatial:(i+1)*s.SplitC*spatial])
+		copy(dx.Data[(i*c+s.SplitC)*spatial:(i+1)*c*spatial],
+			dxb.Data[i*(c-s.SplitC)*spatial:(i+1)*(c-s.SplitC)*spatial])
+	}
+	return dx
+}
+
+// Params concatenates both branches' parameters.
+func (s *SplitConcat) Params() []*Param {
+	return append(append([]*Param{}, s.A.Params()...), s.B.Params()...)
+}

@@ -1,0 +1,43 @@
+package nn
+
+// parent is implemented by container layers that hold child layers; Walk
+// uses it to visit every leaf (for FLOP accounting and diagnostics).
+type parent interface {
+	children() []Layer
+}
+
+func (s *Sequential) children() []Layer { return s.Layers }
+func (r *Residual) children() []Layer   { return []Layer{r.Body, r.Shortcut} }
+func (c *Concat) children() []Layer     { return c.Branches }
+func (s *SplitConcat) children() []Layer {
+	return []Layer{s.A, s.B}
+}
+func (s *SEBlock) children() []Layer { return []Layer{s.FC1, s.FC2} }
+
+// Walk visits l and all transitively contained layers, depth-first.
+func Walk(l Layer, visit func(Layer)) {
+	visit(l)
+	if p, ok := l.(parent); ok {
+		for _, c := range p.children() {
+			Walk(c, visit)
+		}
+	}
+}
+
+// flopsReporter is implemented by layers that track the arithmetic cost of
+// their most recent forward pass.
+type flopsReporter interface {
+	FLOPs() float64
+}
+
+// TotalFLOPs sums the last-forward FLOPs of every layer under l. Call it
+// right after a probe forward pass with the batch size of interest.
+func TotalFLOPs(l Layer) float64 {
+	var total float64
+	Walk(l, func(layer Layer) {
+		if f, ok := layer.(flopsReporter); ok {
+			total += f.FLOPs()
+		}
+	})
+	return total
+}

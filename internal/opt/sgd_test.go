@@ -1,0 +1,127 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestSchedules(t *testing.T) {
+	c := Const{Rate: 0.01}
+	if c.LR(1) != 0.01 || c.LR(100) != 0.01 {
+		t.Fatal("Const schedule must not vary")
+	}
+	s := InvSqrt{Base: 1}
+	if math.Abs(s.LR(4)-0.5) > 1e-12 {
+		t.Fatalf("InvSqrt(4) = %v", s.LR(4))
+	}
+	if s.LR(0) != s.LR(1) {
+		t.Fatal("iter < 1 must clamp")
+	}
+	inv := Inv{Base: 1, Decay: 1}
+	if math.Abs(inv.LR(3)-0.25) > 1e-12 {
+		t.Fatalf("Inv(3) = %v", inv.LR(3))
+	}
+}
+
+// TestConvergenceRates checks the Theorem-1 constraints: InvSqrt decays as
+// O(r^-1/2), Inv as O(r^-1).
+func TestConvergenceRates(t *testing.T) {
+	s := InvSqrt{Base: 1}
+	ratio := s.LR(400) / s.LR(100)
+	if math.Abs(ratio-0.5) > 1e-9 {
+		t.Fatalf("InvSqrt quadrupling r should halve lr: ratio %v", ratio)
+	}
+	v := Inv{Base: 1, Decay: 1}
+	r1, r2 := v.LR(1000), v.LR(2000)
+	if math.Abs(r1/r2-2) > 0.01 {
+		t.Fatalf("Inv doubling r should halve lr asymptotically: %v", r1/r2)
+	}
+	// Monotone decrease — the surrogate for the bound shrinking.
+	for _, sch := range []Schedule{s, v} {
+		for r := 1; r < 100; r++ {
+			if sch.LR(r+1) > sch.LR(r) {
+				t.Fatal("schedule must be non-increasing")
+			}
+		}
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1, 2}, 2))
+	p.Grad.Data[0], p.Grad.Data[1] = 1, -1
+	o := NewSGD(Const{Rate: 0.5}, 0, 0)
+	o.Step([]*nn.Param{p})
+	if p.W.Data[0] != 0.5 || p.W.Data[1] != 2.5 {
+		t.Fatalf("after step: %v", p.W.Data)
+	}
+	if o.Iter() != 1 {
+		t.Fatalf("Iter = %d", o.Iter())
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{0}, 1))
+	o := NewSGD(Const{Rate: 1}, 0.9, 0)
+	ps := []*nn.Param{p}
+	p.Grad.Data[0] = 1
+	o.Step(ps) // v=1, w=-1
+	o.Step(ps) // v=1.9, w=-2.9
+	if math.Abs(float64(p.W.Data[0])+2.9) > 1e-6 {
+		t.Fatalf("momentum w = %v, want -2.9", p.W.Data[0])
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{2}, 1))
+	o := NewSGD(Const{Rate: 0.1}, 0, 0.5)
+	o.Step([]*nn.Param{p}) // grad = 0 + 0.5*2 = 1 → w = 2 - 0.1 = 1.9
+	if math.Abs(float64(p.W.Data[0])-1.9) > 1e-6 {
+		t.Fatalf("decay w = %v, want 1.9", p.W.Data[0])
+	}
+}
+
+func TestSGDReset(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{0}, 1))
+	o := NewSGD(InvSqrt{Base: 1}, 0.9, 0)
+	p.Grad.Data[0] = 1
+	o.Step([]*nn.Param{p})
+	o.Reset()
+	if o.Iter() != 0 {
+		t.Fatal("Reset must clear the step counter")
+	}
+	// After reset, momentum starts fresh: one step from w0 with lr=1 gives
+	// exactly w0 - 1.
+	w0 := p.W.Data[0]
+	o.Step([]*nn.Param{p})
+	if math.Abs(float64(p.W.Data[0]-(w0-1))) > 1e-6 {
+		t.Fatalf("post-reset step w = %v, want %v", p.W.Data[0], w0-1)
+	}
+}
+
+func TestStepMasked(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1, 1, 1}, 3))
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 1
+	}
+	o := NewSGD(Const{Rate: 1}, 0, 0)
+	o.StepMasked([]*nn.Param{p}, []bool{true, false, true})
+	want := []float32{0, 1, 0}
+	for i, w := range want {
+		if p.W.Data[i] != w {
+			t.Fatalf("masked step w[%d] = %v, want %v", i, p.W.Data[i], w)
+		}
+	}
+}
+
+func TestStepMaskedNilMeansFull(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1}, 1))
+	p.Grad.Data[0] = 1
+	o := NewSGD(Const{Rate: 1}, 0, 0)
+	o.StepMasked([]*nn.Param{p}, nil)
+	if p.W.Data[0] != 0 {
+		t.Fatal("nil mask must behave like Step")
+	}
+}

@@ -1,0 +1,137 @@
+// Package prune implements magnitude-based weight pruning and the sparse
+// signature-knowledge store (Eq. 1 of the FedKNOW paper): after a task is
+// learned, the top-ρ fraction of weights by absolute value is retained as
+// that task's knowledge, the rest is discarded.
+package prune
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseStore holds the retained weights of one task: parallel slices of
+// flat indices (ascending) and values. Memory footprint is 8 bytes per
+// retained weight versus 4 bytes per weight for the dense model, so ρ = 10%
+// costs one fifth of a full model copy.
+type SparseStore struct {
+	N       int // length of the dense vector this was extracted from
+	Indices []int32
+	Values  []float32
+}
+
+// Bytes returns the approximate memory footprint of the store.
+func (s *SparseStore) Bytes() int { return len(s.Indices)*4 + len(s.Values)*4 }
+
+// Len returns the number of retained weights.
+func (s *SparseStore) Len() int { return len(s.Indices) }
+
+// TopK returns the count of weights a ratio rho selects out of n (at least 1
+// for any positive rho and n).
+func TopK(n int, rho float64) int {
+	if n == 0 || rho <= 0 {
+		return 0
+	}
+	k := int(float64(n)*rho + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Extract retains the top-ρ fraction of weights by |w| as a SparseStore.
+func Extract(w []float32, rho float64) *SparseStore {
+	k := TopK(len(w), rho)
+	idx := make([]int32, len(w))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	// Partial selection: full sort is fine at these sizes and keeps the
+	// code obvious; k-th element selection would save a log factor only.
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := abs32(w[idx[a]]), abs32(w[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	sel := append([]int32(nil), idx[:k]...)
+	sort.Slice(sel, func(a, b int) bool { return sel[a] < sel[b] })
+	vals := make([]float32, k)
+	for i, j := range sel {
+		vals[i] = w[j]
+	}
+	return &SparseStore{N: len(w), Indices: sel, Values: vals}
+}
+
+// ExtractSegments retains the top-ρ fraction of weights *within each
+// segment* (one segment per parameter tensor). Layer-wise selection keeps
+// every layer's strongest weights, so the pruned network still propagates
+// signal; global selection would concentrate on the layers with the largest
+// initialisation scale and zero out whole layers. segments must sum to
+// len(w).
+func ExtractSegments(w []float32, segments []int, rho float64) *SparseStore {
+	out := &SparseStore{N: len(w)}
+	off := 0
+	for _, segLen := range segments {
+		seg := Extract(w[off:off+segLen], rho)
+		for i, idx := range seg.Indices {
+			out.Indices = append(out.Indices, idx+int32(off))
+			out.Values = append(out.Values, seg.Values[i])
+		}
+		off += segLen
+	}
+	if off != len(w) {
+		panic(fmt.Sprintf("prune: segments sum %d, want %d", off, len(w)))
+	}
+	return out
+}
+
+// Mask returns a boolean mask over the dense vector with true at retained
+// positions.
+func (s *SparseStore) Mask() []bool {
+	m := make([]bool, s.N)
+	for _, i := range s.Indices {
+		m[i] = true
+	}
+	return m
+}
+
+// PasteInto writes the retained values into dst at their original positions,
+// leaving other coordinates untouched. dst must have the original length.
+func (s *SparseStore) PasteInto(dst []float32) {
+	if len(dst) != s.N {
+		panic(fmt.Sprintf("prune: PasteInto length %d, want %d", len(dst), s.N))
+	}
+	for i, j := range s.Indices {
+		dst[j] = s.Values[i]
+	}
+}
+
+// Densify returns a dense vector with retained values and zeros elsewhere —
+// the knowledge model the gradient restorer forwards through.
+func (s *SparseStore) Densify() []float32 {
+	out := make([]float32, s.N)
+	s.PasteInto(out)
+	return out
+}
+
+// Refresh re-reads the values at the stored indices from a dense vector
+// (used after fine-tuning the retained weights).
+func (s *SparseStore) Refresh(w []float32) {
+	if len(w) != s.N {
+		panic(fmt.Sprintf("prune: Refresh length %d, want %d", len(w), s.N))
+	}
+	for i, j := range s.Indices {
+		s.Values[i] = w[j]
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,82 @@
+package prune
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFilterScoresL1L2(t *testing.T) {
+	// 2 filters of fanIn 2: (3, -4) and (1, 0).
+	w := []float32{3, -4, 1, 0}
+	l1 := FilterScores(w, 2, 2, L1)
+	if l1[0] != 7 || l1[1] != 1 {
+		t.Fatalf("L1 = %v", l1)
+	}
+	l2 := FilterScores(w, 2, 2, L2)
+	if math.Abs(l2[0]-5) > 1e-12 || math.Abs(l2[1]-1) > 1e-12 {
+		t.Fatalf("L2 = %v", l2)
+	}
+}
+
+func TestFilterScoresValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad geometry")
+		}
+	}()
+	FilterScores([]float32{1, 2, 3}, 2, 2, L1)
+}
+
+func TestTopFilters(t *testing.T) {
+	scores := []float64{0.1, 5, 2, 3}
+	got := TopFilters(scores, 0.5) // keep 2: indices 1, 3
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("TopFilters = %v", got)
+	}
+	// At least one filter survives any positive rho.
+	if got := TopFilters(scores, 0.01); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("minimum retention: %v", got)
+	}
+}
+
+func TestTopFiltersTieBreak(t *testing.T) {
+	got := TopFilters([]float64{1, 1, 1}, 0.67)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ties must break by index: %v", got)
+	}
+}
+
+func TestExtractFiltersKeepsWholeRows(t *testing.T) {
+	// 3 filters × fanIn 2; filter 1 dominates.
+	w := []float32{0.1, 0.1, 9, 9, 0.2, 0.2}
+	s := ExtractFilters(w, 3, 2, 0.34, L2) // keep 1 filter
+	if s.Len() != 2 {
+		t.Fatalf("kept %d weights, want the full filter row (2)", s.Len())
+	}
+	if s.Indices[0] != 2 || s.Indices[1] != 3 {
+		t.Fatalf("indices %v, want [2 3]", s.Indices)
+	}
+	d := s.Densify()
+	want := []float32{0, 0, 9, 9, 0, 0}
+	for i, v := range want {
+		if d[i] != v {
+			t.Fatalf("densify[%d] = %v", i, d[i])
+		}
+	}
+}
+
+func TestExtractFiltersStoreInterop(t *testing.T) {
+	// Structured stores round-trip through the same SparseStore API the
+	// unstructured extractor uses (PasteInto, Mask, Refresh).
+	w := []float32{1, 2, 8, 9}
+	s := ExtractFilters(w, 2, 2, 0.5, L1)
+	mask := s.Mask()
+	if mask[0] || mask[1] || !mask[2] || !mask[3] {
+		t.Fatalf("mask %v", mask)
+	}
+	w[2] = 11
+	s.Refresh(w)
+	if s.Values[0] != 11 {
+		t.Fatal("Refresh must re-read filter weights")
+	}
+}

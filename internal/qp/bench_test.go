@@ -1,0 +1,48 @@
+package qp
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// BenchmarkIntegrate measures the per-iteration cost of gradient
+// integration at the paper's k = 10 with a realistic gradient size.
+func BenchmarkIntegrate(b *testing.B) {
+	r := tensor.NewRNG(1)
+	dim := 60000
+	g := make([]float32, dim)
+	r.FillNorm(g, 1)
+	G := make([][]float32, 10)
+	for i := range G {
+		G[i] = make([]float32, dim)
+		r.FillNorm(G[i], 1)
+		// Force violations so the QP actually runs.
+		for j := range G[i] {
+			G[i][j] -= 0.02 * g[j]
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Integrate(g, G)
+	}
+}
+
+func BenchmarkSolveDual(b *testing.B) {
+	r := tensor.NewRNG(2)
+	k := 10
+	a := make([][]float64, k)
+	bb := make([]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+		for j := range a[i] {
+			a[i][j] = r.Norm()
+		}
+		a[i][i] += float64(k) // diagonally dominant PSD-ish
+		bb[i] = r.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveDual(a, bb, 200, 1e-9)
+	}
+}

@@ -1,0 +1,144 @@
+// Package qp solves the small non-negative quadratic programs at the heart
+// of gradient integration (Eq. 3–5 of the FedKNOW paper, after the GEM dual
+// construction):
+//
+//	min_v  ½ vᵀ G Gᵀ v + gᵀ Gᵀ v    s.t.  v ≥ 0
+//
+// where G stacks k constraint gradients as rows and g is the current task's
+// gradient. The primal solution g′ = Gᵀv + g then satisfies Gg′ ≥ 0, i.e.
+// the integrated gradient keeps an acute (or right) angle with every
+// constraint gradient while staying as close to g as possible.
+//
+// k is small (≤ ~20) so exact projected coordinate descent converges in a
+// handful of sweeps; the dense k×k Gram matrix is the only quadratic cost.
+package qp
+
+import "repro/internal/tensor"
+
+// Result carries the dual solution and diagnostics.
+type Result struct {
+	V          []float64 // dual variables, length k
+	Iterations int       // coordinate-descent sweeps performed
+	Converged  bool
+}
+
+// SolveDual minimises ½vᵀAv + bᵀv subject to v ≥ 0, where A = G·Gᵀ (k×k,
+// symmetric positive semi-definite) and b = G·g. It uses cyclic projected
+// coordinate descent, which for this problem is exact per-coordinate:
+// v_i ← max(0, v_i − (Av + b)_i / A_ii).
+func SolveDual(a [][]float64, b []float64, maxSweeps int, tol float64) Result {
+	k := len(b)
+	v := make([]float64, k)
+	if k == 0 {
+		return Result{V: v, Converged: true}
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 200
+	}
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		maxDelta := 0.0
+		for i := 0; i < k; i++ {
+			aii := a[i][i]
+			if aii <= 1e-12 {
+				// Degenerate (zero) constraint gradient: its dual has no
+				// curvature; leave it at the projection boundary.
+				if b[i] < 0 {
+					// unbounded direction in theory; clamp growth.
+					nv := v[i] + 1
+					if nv-v[i] > maxDelta {
+						maxDelta = nv - v[i]
+					}
+					v[i] = nv
+				}
+				continue
+			}
+			grad := b[i]
+			for j := 0; j < k; j++ {
+				grad += a[i][j] * v[j]
+			}
+			nv := v[i] - grad/aii
+			if nv < 0 {
+				nv = 0
+			}
+			d := nv - v[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDelta {
+				maxDelta = d
+			}
+			v[i] = nv
+		}
+		if maxDelta < tol {
+			return Result{V: v, Iterations: sweep, Converged: true}
+		}
+	}
+	return Result{V: v, Iterations: maxSweeps, Converged: false}
+}
+
+// Integrate computes the FedKNOW/GEM integrated gradient. G holds k
+// constraint gradients (each of the same length as g). If g already has a
+// non-negative dot product with every row of G it is returned unchanged
+// (fast path: no QP needed). Otherwise the dual QP is solved and
+// g′ = Gᵀv + g is returned as a fresh slice.
+func Integrate(g []float32, G [][]float32) []float32 {
+	k := len(G)
+	if k == 0 {
+		return g
+	}
+	violated := false
+	for _, gi := range G {
+		if tensor.DotSlice(gi, g) < 0 {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		return g
+	}
+	// Gram matrix A = G Gᵀ and b = G g.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for i := 0; i < k; i++ {
+		a[i] = make([]float64, k)
+		for j := 0; j <= i; j++ {
+			d := tensor.DotSlice(G[i], G[j])
+			a[i][j] = d
+			a[j][i] = d
+		}
+		b[i] = tensor.DotSlice(G[i], g)
+	}
+	res := SolveDual(a, b, 200, 1e-9)
+	out := make([]float32, len(g))
+	copy(out, g)
+	for i, vi := range res.V {
+		if vi != 0 {
+			tensor.AxpySlice(out, float32(vi), G[i])
+		}
+	}
+	// Cap ‖g′‖ at ‖g‖: with many near-conflicting constraints the dual
+	// correction Gᵀv can dwarf the task gradient and a single step would
+	// blow past the loss basin. Positive rescaling preserves every angle
+	// constraint (G(αg′) = αGg′ ≥ 0) while keeping the step size bounded
+	// by the task's own gradient.
+	ng, nOut := tensor.NormSlice(g), tensor.NormSlice(out)
+	if nOut > ng && nOut > 0 {
+		scale := float32(ng / nOut)
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// Violations counts how many constraint gradients have a negative dot
+// product with g (diagnostic used in tests and experiment logging).
+func Violations(g []float32, G [][]float32) int {
+	n := 0
+	for _, gi := range G {
+		if tensor.DotSlice(gi, g) < -1e-9 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,272 @@
+package qp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestSolveDualUnconstrainedInterior(t *testing.T) {
+	// min ½v² − 2v, v ≥ 0 → v = 2.
+	res := SolveDual([][]float64{{1}}, []float64{-2}, 100, 1e-12)
+	if !res.Converged || math.Abs(res.V[0]-2) > 1e-9 {
+		t.Fatalf("v = %v", res.V)
+	}
+}
+
+func TestSolveDualActiveBound(t *testing.T) {
+	// min ½v² + 3v, v ≥ 0 → v = 0 (bound active).
+	res := SolveDual([][]float64{{1}}, []float64{3}, 100, 1e-12)
+	if res.V[0] != 0 {
+		t.Fatalf("v = %v, want 0", res.V)
+	}
+}
+
+func TestSolveDualTwoDim(t *testing.T) {
+	// A = [[2,0],[0,2]], b = [-2, 4] → v = (1, 0).
+	res := SolveDual([][]float64{{2, 0}, {0, 2}}, []float64{-2, 4}, 100, 1e-12)
+	if math.Abs(res.V[0]-1) > 1e-9 || res.V[1] != 0 {
+		t.Fatalf("v = %v, want (1,0)", res.V)
+	}
+}
+
+func TestSolveDualEmptyInstance(t *testing.T) {
+	res := SolveDual(nil, nil, 10, 1e-9)
+	if !res.Converged || len(res.V) != 0 {
+		t.Fatalf("empty instance: %+v", res)
+	}
+}
+
+func TestSolveDualZeroDiagonal(t *testing.T) {
+	// A degenerate zero constraint must not produce NaN.
+	res := SolveDual([][]float64{{0}}, []float64{1}, 50, 1e-9)
+	if math.IsNaN(res.V[0]) {
+		t.Fatal("NaN dual variable")
+	}
+}
+
+// bruteForceDual enumerates active sets for k ≤ 3 and solves each reduced
+// unconstrained system exactly, returning the best feasible v.
+func bruteForceDual(a [][]float64, b []float64) []float64 {
+	k := len(b)
+	best := make([]float64, k)
+	bestObj := math.Inf(1)
+	obj := func(v []float64) float64 {
+		s := 0.0
+		for i := 0; i < k; i++ {
+			s += b[i] * v[i]
+			for j := 0; j < k; j++ {
+				s += 0.5 * v[i] * a[i][j] * v[j]
+			}
+		}
+		return s
+	}
+	for mask := 0; mask < (1 << k); mask++ {
+		// Free set = bits set in mask. Solve A_ff v_f = -b_f by Gaussian
+		// elimination; clamp others to 0.
+		var free []int
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				free = append(free, i)
+			}
+		}
+		m := len(free)
+		v := make([]float64, k)
+		if m > 0 {
+			// Build and solve the m×m system.
+			mat := make([][]float64, m)
+			rhs := make([]float64, m)
+			for i, fi := range free {
+				mat[i] = make([]float64, m)
+				for j, fj := range free {
+					mat[i][j] = a[fi][fj]
+				}
+				rhs[i] = -b[fi]
+			}
+			ok := gauss(mat, rhs)
+			if !ok {
+				continue
+			}
+			feasible := true
+			for i, fi := range free {
+				if rhs[i] < -1e-9 {
+					feasible = false
+					break
+				}
+				v[fi] = rhs[i]
+			}
+			if !feasible {
+				continue
+			}
+		}
+		if o := obj(v); o < bestObj {
+			bestObj = o
+			copy(best, v)
+		}
+	}
+	return best
+}
+
+func gauss(a [][]float64, b []float64) bool {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for i := 0; i < n; i++ {
+		b[i] /= a[i][i]
+	}
+	return true
+}
+
+func TestSolveDualMatchesBruteForce(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(3)
+		dim := 4 + rng.Intn(4)
+		// Build A = G Gᵀ from random G so A is PSD.
+		G := make([][]float64, k)
+		for i := range G {
+			G[i] = make([]float64, dim)
+			for j := range G[i] {
+				G[i][j] = rng.Norm()
+			}
+		}
+		a := make([][]float64, k)
+		b := make([]float64, k)
+		for i := 0; i < k; i++ {
+			a[i] = make([]float64, k)
+			for j := 0; j < k; j++ {
+				for d := 0; d < dim; d++ {
+					a[i][j] += G[i][d] * G[j][d]
+				}
+			}
+			b[i] = 2*rng.Norm() - 1
+		}
+		got := SolveDual(a, b, 2000, 1e-12)
+		want := bruteForceDual(a, b)
+		objective := func(v []float64) float64 {
+			s := 0.0
+			for i := 0; i < k; i++ {
+				s += b[i] * v[i]
+				for j := 0; j < k; j++ {
+					s += 0.5 * v[i] * a[i][j] * v[j]
+				}
+			}
+			return s
+		}
+		if objective(got.V) > objective(want)+1e-6 {
+			t.Fatalf("trial %d: cd objective %v worse than brute force %v (v=%v want %v)",
+				trial, objective(got.V), objective(want), got.V, want)
+		}
+	}
+}
+
+func TestIntegrateFastPathLeavesGradientAlone(t *testing.T) {
+	g := []float32{1, 0}
+	G := [][]float32{{1, 0.5}, {0.5, 1}}
+	out := Integrate(g, G)
+	if &out[0] != &g[0] {
+		t.Fatal("fast path should return g unchanged when no constraint violated")
+	}
+}
+
+func TestIntegrateResolvesObtuseAngle(t *testing.T) {
+	// g points opposite to the constraint: integration must rotate it to
+	// at least orthogonal.
+	g := []float32{-1, 0}
+	G := [][]float32{{1, 0}}
+	out := Integrate(g, G)
+	if d := tensor.DotSlice(G[0], out); d < -1e-5 {
+		t.Fatalf("constraint still violated: dot = %v", d)
+	}
+}
+
+func TestIntegrateEmptyConstraints(t *testing.T) {
+	g := []float32{1, 2, 3}
+	out := Integrate(g, nil)
+	for i := range g {
+		if out[i] != g[i] {
+			t.Fatal("no constraints must be identity")
+		}
+	}
+}
+
+func TestIntegratePreservesDescentDirection(t *testing.T) {
+	// The integrated gradient should stay positively correlated with the
+	// original one (the QP minimises the rotation).
+	rng := tensor.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		dim := 10
+		g := make([]float32, dim)
+		rng.FillNorm(g, 1)
+		G := make([][]float32, 3)
+		for i := range G {
+			G[i] = make([]float32, dim)
+			rng.FillNorm(G[i], 1)
+		}
+		out := Integrate(g, G)
+		if tensor.DotSlice(out, g) < -1e-6 {
+			t.Fatalf("trial %d: integrated gradient opposes original", trial)
+		}
+	}
+}
+
+// TestIntegrateSatisfiesAllConstraints is the paper's core invariant
+// (Gg′ ≥ 0), checked property-style over random instances.
+func TestIntegrateSatisfiesAllConstraints(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	f := func(seed uint16) bool {
+		r := rng.Fork(uint64(seed))
+		dim := 5 + r.Intn(20)
+		k := 1 + r.Intn(6)
+		g := make([]float32, dim)
+		r.FillNorm(g, 1)
+		G := make([][]float32, k)
+		for i := range G {
+			G[i] = make([]float32, dim)
+			r.FillNorm(G[i], 1)
+		}
+		out := Integrate(g, G)
+		for _, gi := range G {
+			// Small negative slack tolerated: coordinate descent converges
+			// to tolerance, not exactly.
+			if tensor.DotSlice(gi, out) < -1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	g := []float32{1, 0}
+	G := [][]float32{{1, 0}, {-1, 0}, {0, 1}}
+	if got := Violations(g, G); got != 1 {
+		t.Fatalf("Violations = %d, want 1", got)
+	}
+}

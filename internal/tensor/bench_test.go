@@ -1,0 +1,44 @@
+package tensor
+
+import "testing"
+
+func BenchmarkGemm64(b *testing.B) {
+	r := NewRNG(1)
+	m, k, n := 64, 64, 64
+	a := Randn(r, 1, m, k)
+	x := Randn(r, 1, k, n)
+	c := make([]float32, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range c {
+			c[j] = 0
+		}
+		Gemm(c, a.Data, x.Data, m, k, n, false, false)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	r := NewRNG(2)
+	c, h, w, k := 16, 16, 16, 3
+	img := make([]float32, c*h*w)
+	r.FillNorm(img, 1)
+	outH := ConvOutSize(h, k, 1, 1)
+	outW := ConvOutSize(w, k, 1, 1)
+	cols := make([]float32, c*k*k*outH*outW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(cols, img, c, h, w, k, k, 1, 1, outH, outW)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	r := NewRNG(3)
+	x := make([]float32, 1<<16)
+	y := make([]float32, 1<<16)
+	r.FillNorm(x, 1)
+	r.FillNorm(y, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotSlice(x, y)
+	}
+}

@@ -1,0 +1,72 @@
+package tensor
+
+// Im2Col lowers a single image (C×H×W, given as a flat slice) into a column
+// matrix suitable for expressing convolution as GEMM. The output has
+// C*kh*kw rows and outH*outW columns, written row-major into dst (which the
+// caller must size to (C*kh*kw)*(outH*outW)). Zero padding is applied
+// implicitly: out-of-range taps contribute 0.
+func Im2Col(dst, img []float32, c, h, w, kh, kw, stride, pad, outH, outW int) {
+	cols := outH * outW
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowIdx := (ch*kh+ky)*kw + kx
+				row := dst[rowIdx*cols : (rowIdx+1)*cols]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							row[oy*outW+ox] = 0
+						}
+						continue
+					}
+					src := img[base+iy*w : base+(iy+1)*w]
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							row[oy*outW+ox] = 0
+						} else {
+							row[oy*outW+ox] = src[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im accumulates the column matrix produced by Im2Col back into image
+// gradient space (the adjoint of Im2Col). dst must be a c*h*w slice; values
+// are added, so callers typically zero it first.
+func Col2Im(dst, cols []float32, c, h, w, kh, kw, stride, pad, outH, outW int) {
+	nCols := outH * outW
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowIdx := (ch*kh+ky)*kw + kx
+				row := cols[rowIdx*nCols : (rowIdx+1)*nCols]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst[base+iy*w+ix] += row[oy*outW+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window of size k with the given stride and padding applied to extent in.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

@@ -1,0 +1,316 @@
+// Package tensor implements dense float32 tensors and the numeric kernels
+// (GEMM, im2col, reductions) that back the neural-network substrate. It is
+// the stand-in for the PyTorch tensor library used by the FedKNOW paper.
+//
+// Tensors are row-major and always contiguous. The package is deliberately
+// small: only the operations the training stack needs are provided, and all
+// of them are written against plain slices so they inline and vectorise well.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// numElems returns the product of dims, panicking on negative sizes.
+func numElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, numElems(shape))}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly, not copied.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	if len(data) != numElems(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape. The element
+// count must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if numElems(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index. Intended for tests and
+// debugging; hot paths index Data directly.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Copy copies src's data into t. Shapes must have equal element counts.
+func (t *Tensor) Copy(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic("tensor: Copy size mismatch")
+	}
+	copy(t.Data, src.Data)
+}
+
+// AddInPlace adds b elementwise into t.
+func (t *Tensor) AddInPlace(b *Tensor) {
+	if len(t.Data) != len(b.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range b.Data {
+		t.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts b elementwise from t.
+func (t *Tensor) SubInPlace(b *Tensor) {
+	if len(t.Data) != len(b.Data) {
+		panic("tensor: SubInPlace size mismatch")
+	}
+	for i, v := range b.Data {
+		t.Data[i] -= v
+	}
+}
+
+// MulInPlace multiplies t elementwise by b.
+func (t *Tensor) MulInPlace(b *Tensor) {
+	if len(t.Data) != len(b.Data) {
+		panic("tensor: MulInPlace size mismatch")
+	}
+	for i, v := range b.Data {
+		t.Data[i] *= v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Axpy computes t += a*x (like BLAS saxpy).
+func (t *Tensor) Axpy(a float32, x *Tensor) {
+	if len(t.Data) != len(x.Data) {
+		panic("tensor: Axpy size mismatch")
+	}
+	AxpySlice(t.Data, a, x.Data)
+}
+
+// AxpySlice computes dst += a*x over raw slices.
+func AxpySlice(dst []float32, a float32, x []float32) {
+	for i, v := range x {
+		dst[i] += a * v
+	}
+}
+
+// Dot returns the inner product of t and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	return DotSlice(a.Data, b.Data)
+}
+
+// DotSlice returns the inner product of two equal-length slices.
+func DotSlice(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot size mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += float64(v) * float64(b[i])
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm() float64 { return NormSlice(t.Data) }
+
+// NormSlice returns the Euclidean norm of a slice.
+func NormSlice(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements as float64.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// ArgMaxRow returns the index of the maximum element in row r of a 2-D
+// tensor, optionally restricted to the given candidate columns (nil means
+// all columns). Used for task-aware top-1 evaluation.
+func (t *Tensor) ArgMaxRow(r int, candidates []int) int {
+	if len(t.Shape) != 2 {
+		panic("tensor: ArgMaxRow requires a 2-D tensor")
+	}
+	cols := t.Shape[1]
+	row := t.Data[r*cols : (r+1)*cols]
+	best, bestV := -1, float32(math.Inf(-1))
+	if candidates == nil {
+		for j, v := range row {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		return best
+	}
+	for _, j := range candidates {
+		if row[j] > bestV {
+			best, bestV = j, row[j]
+		}
+	}
+	return best
+}
+
+// MatMul computes C = A×B for A (m×k) and B (k×n), returning an m×n tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	Gemm(c.Data, a.Data, b.Data, m, k, n, false, false)
+	return c
+}
+
+// Gemm computes C += op(A)×op(B) into c (m×n), where op transposes when the
+// corresponding flag is set. A is m×k (or k×m when transposed), B is k×n (or
+// n×k when transposed). c must be pre-sized m*n; it is accumulated into, so
+// callers wanting plain assignment must zero it first. The inner loop is
+// written j-innermost over contiguous rows for cache friendliness.
+func Gemm(c, a, b []float32, m, k, n int, transA, transB bool) {
+	switch {
+	case !transA && !transB:
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	case transA && !transB:
+		// A is k×m, op(A) is m×k.
+		for p := 0; p < k; p++ {
+			ap := a[p*m : (p+1)*m]
+			bp := b[p*n : (p+1)*n]
+			for i := 0; i < m; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				ci := c[i*n : (i+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	case !transA && transB:
+		// B is n×k, op(B) is k×n.
+		for i := 0; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] += s
+			}
+		}
+	default: // transA && transB
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a[p*m+i] * bj[p]
+				}
+				ci[j] += s
+			}
+		}
+	}
+}
