@@ -20,13 +20,17 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, all)")
 	scale := flag.String("scale", "ci", "ci or full")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "concurrent clients per federated engine (0 = GOMAXPROCS)")
+	kernelThreads := flag.Int("kernel-threads", 0, "extra tensor-kernel workers shared across clients (0 = GOMAXPROCS); training clients also run kernels inline; results are identical for every setting")
 	flag.Parse()
+	tensor.SetKernelThreads(*kernelThreads)
 
 	var sc data.Scale
 	switch *scale {
@@ -38,7 +42,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	opt := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout}
+	opt := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout,
+		Parallelism: *parallel, KernelThreads: *kernelThreads}
 
 	ids := []string{*exp}
 	if *exp == "all" {

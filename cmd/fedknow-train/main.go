@@ -30,7 +30,10 @@ func main() {
 	rounds := flag.Int("rounds", 0, "override aggregation rounds per task")
 	iters := flag.Int("iters", 0, "override local iterations per round")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "concurrent clients (0 = GOMAXPROCS)")
+	kernelThreads := flag.Int("kernel-threads", 0, "extra tensor-kernel workers shared across clients (0 = GOMAXPROCS); training clients also run kernels inline; results are identical for every setting")
 	flag.Parse()
+	tensor.SetKernelThreads(*kernelThreads)
 
 	fam, ok := data.FamilyByName(*dataset)
 	if !ok {
@@ -70,6 +73,7 @@ func main() {
 		Method: *method, Rounds: rt.Rounds, LocalIters: rt.LocalIters,
 		BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
 		NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: *seed,
+		Parallelism: *parallel,
 	}
 	build := func(rng *tensor.RNG) *model.Model {
 		return model.MustBuild(architecture, ds.NumClasses, ds.C, ds.H, ds.W, rt.Width, rng)

@@ -58,7 +58,9 @@ func (s *APFL) AfterAggregate(preAgg []float32, ct data.ClientTask) {
 	params := s.ctx.Model.Params()
 	global := nn.FlattenParams(params)
 	if s.personal == nil {
-		s.personal = preAgg
+		// Copy: preAgg is an engine-owned buffer that is rewritten every
+		// round.
+		s.personal = append([]float32(nil), preAgg...)
 	}
 	mixed := make([]float32, len(global))
 	a := float32(s.Alpha)

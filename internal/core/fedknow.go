@@ -56,6 +56,12 @@ type FedKNOW struct {
 	signature []int // indices into knowledge, re-ranked every SelectEvery steps
 	step      int
 
+	// per-iteration scratch, reused to keep the training loop allocation-free
+	gBuf   []float32
+	gaBuf  []float32
+	gbBuf  []float32
+	curBuf []float32
+
 	// Stats accumulates integration diagnostics for the current task;
 	// TaskEnd moves them into StatsByTask.
 	Stats       IntegrationStats
@@ -111,17 +117,37 @@ func (f *FedKNOW) Knowledge() []*TaskKnowledge { return f.knowledge }
 // TrainStep implements catastrophic-forgetting prevention (§III-A): the
 // current gradient is integrated with the restored gradients of the k most
 // dissimilar past tasks before the optimiser step.
+//
+// The knowledge-model forwards run first, so the task-loss forward and all
+// distillation backwards share one live forward pass over the batch.
 func (f *FedKNOW) TrainStep(x *tensor.Tensor, labels []int, classes []int) float64 {
 	m := f.ctx.Model
 	params := m.Params()
+	restoring := len(f.knowledge) > 0 && !f.opts.DisableIntegration
+	var restoreSet []*TaskKnowledge
+	var reRanking bool
+	if restoring {
+		restoreSet, reRanking = f.restoreSet()
+		f.restorer.PrepareTargets(restoreSet, x)
+	}
+
 	logits := m.Forward(x, true)
 	loss, dl := nn.MaskedCrossEntropy(logits, labels, classes)
 	nn.ZeroGrads(params)
 	m.Backward(dl)
-	g := nn.FlattenGrads(params)
+	f.gBuf = nn.FlattenGradsInto(f.gBuf, params)
+	g := f.gBuf
 
-	if len(f.knowledge) > 0 && !f.opts.DisableIntegration {
-		constraints := f.constraintGradients(x, g)
+	if restoring {
+		restored := f.restorer.RestoredGradients(restoreSet, logits)
+		constraints := restored
+		if reRanking {
+			f.signature = f.integrator.SelectSignature(g, restored, f.opts.K)
+			constraints = make([][]float32, len(f.signature))
+			for i, j := range f.signature {
+				constraints[i] = restored[j]
+			}
+		}
 		g2 := f.integrator.Integrate(g, constraints)
 		f.Stats.Steps++
 		if &g2[0] != &g[0] {
@@ -139,28 +165,23 @@ func (f *FedKNOW) TrainStep(x *tensor.Tensor, labels []int, classes []int) float
 	return loss
 }
 
-// constraintGradients restores the signature tasks' gradients for this
-// batch, periodically re-ranking the signature set over all stored tasks.
-func (f *FedKNOW) constraintGradients(x *tensor.Tensor, g []float32) [][]float32 {
+// restoreSet picks which stored tasks to restore this step: all of them when
+// the store is small or the signature set is being re-ranked (§III-C:
+// re-ranking needs every stored task's gradient), otherwise the cached
+// signature tasks only.
+func (f *FedKNOW) restoreSet() (ks []*TaskKnowledge, reRanking bool) {
 	k := f.opts.K
 	if k >= len(f.knowledge) {
-		// Few stored tasks: restore and use all of them.
-		return f.restorer.RestoreAll(f.knowledge, x)
+		return f.knowledge, false
 	}
 	if f.signature == nil || f.step%f.opts.SelectEvery == 0 {
-		all := f.restorer.RestoreAll(f.knowledge, x)
-		f.signature = f.integrator.SelectSignature(g, all, k)
-		sel := make([][]float32, len(f.signature))
-		for i, j := range f.signature {
-			sel[i] = all[j]
-		}
-		return sel
+		return f.knowledge, true
 	}
 	sel := make([]*TaskKnowledge, len(f.signature))
 	for i, j := range f.signature {
 		sel[i] = f.knowledge[j]
 	}
-	return f.restorer.RestoreAll(sel, x)
+	return sel, false
 }
 
 // AfterAggregate implements negative-transfer prevention (§III-A): after the
@@ -187,17 +208,19 @@ func (f *FedKNOW) AfterAggregate(preAgg []float32, ct data.ClientTask) {
 		_, dl := nn.MaskedCrossEntropy(logits, labels, ct.Classes)
 		nn.ZeroGrads(params)
 		m.Backward(dl)
-		gAfter := nn.FlattenGrads(params)
+		f.gaBuf = nn.FlattenGradsInto(f.gaBuf, params)
+		gAfter := f.gaBuf
 
 		// gᵇ: gradient at the pre-aggregation weights on the same batch.
-		cur := nn.FlattenParams(params)
+		f.curBuf = nn.FlattenParamsInto(f.curBuf, params)
 		nn.SetFlatParams(params, preAgg)
 		logitsB := m.Forward(x, true)
 		_, dlB := nn.MaskedCrossEntropy(logitsB, labels, ct.Classes)
 		nn.ZeroGrads(params)
 		m.Backward(dlB)
-		gBefore := nn.FlattenGrads(params)
-		nn.SetFlatParams(params, cur)
+		f.gbBuf = nn.FlattenGradsInto(f.gbBuf, params)
+		gBefore := f.gbBuf
+		nn.SetFlatParams(params, f.curBuf)
 
 		g2 := gAfter
 		if !f.opts.DisableGlobalGuard {

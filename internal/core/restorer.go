@@ -18,8 +18,14 @@ import (
 //	g_i = ∇ loss(f(W, X_{m+1}), f(W_i, X_{m+1}))
 type GradientRestorer struct {
 	m *model.Model
-	// scratch buffer for swapping parameter vectors
-	saved []float32
+	// scratch buffers, reused across restores so the per-iteration restore
+	// loop (k past tasks × every local step) performs no allocations.
+	saved      []float32
+	savedGrads []float32
+	dense      []float32
+	targets    []*tensor.Tensor
+	outBufs    [][]float32
+	outView    [][]float32
 }
 
 // NewGradientRestorer wraps the live model.
@@ -29,49 +35,101 @@ func NewGradientRestorer(m *model.Model) *GradientRestorer {
 
 // Restore computes the restored gradient of one past task on the given
 // batch. The model's parameters and gradients are preserved across the call.
+// The returned slice is freshly allocated and owned by the caller.
 func (r *GradientRestorer) Restore(k *TaskKnowledge, x *tensor.Tensor) []float32 {
-	params := r.m.Params()
-	if r.saved == nil {
-		r.saved = make([]float32, nn.NumParams(params))
-	}
-	copy(r.saved, flatInto(params, nil))
-
-	// Knowledge model forward: retained weights over zeros. Targets are
-	// restricted to the task's own classes — the knowledge model's logits
-	// are only meaningful there, and the restored gradient should protect
-	// exactly that behaviour.
-	dense := k.Store.Densify()
-	nn.SetFlatParams(params, dense)
-	logitsK := r.m.Forward(x, false)
-	targets := maskedSoftmax(logitsK, k.Classes)
-
-	// Live model forward + distillation backward, on the same class mask.
-	nn.SetFlatParams(params, r.saved)
-	logits := r.m.Forward(x, true)
-	dl := maskedDistillGrad(logits, targets, k.Classes)
-	savedGrads := nn.FlattenGrads(params)
-	nn.ZeroGrads(params)
-	r.m.Backward(dl)
-	g := nn.FlattenGrads(params)
-	nn.SetFlatGrads(params, savedGrads)
-	return g
+	return append([]float32(nil), r.RestoreAll([]*TaskKnowledge{k}, x)[0]...)
 }
 
 // RestoreAll restores the gradients of every given knowledge record on the
-// batch, in order.
+// batch, in order. The returned slices live in buffers owned by the restorer
+// and are valid until the next RestoreAll call.
+//
+// The live model's forward pass depends only on the live weights and the
+// batch, so it runs once and its cached activations serve every task's
+// distillation backward — backward passes read but never mutate the forward
+// caches. The restored gradients are bitwise identical to restoring each
+// task in full; the one behavioural difference is that BatchNorm running
+// statistics now see a single train-mode forward per call instead of one
+// per task (arguably the correct count — restoration is not extra
+// training), which shifts eval-mode trajectories slightly versus the seed.
 func (r *GradientRestorer) RestoreAll(ks []*TaskKnowledge, x *tensor.Tensor) [][]float32 {
-	out := make([][]float32, len(ks))
-	for i, k := range ks {
-		out[i] = r.Restore(k, x)
+	if len(ks) == 0 {
+		return nil
 	}
-	return out
+	r.PrepareTargets(ks, x)
+	logits := r.m.Forward(x, true)
+	return r.RestoredGradients(ks, logits)
+}
+
+// PrepareTargets runs phase 1 of restoration: it forwards the batch through
+// each task's knowledge model (retained weights pasted over zeros) and
+// stores the masked soft targets. Targets are restricted to each task's own
+// classes — the knowledge model's logits are only meaningful there, and the
+// restored gradient should protect exactly that behaviour. On return the
+// live parameters are re-installed; the caller must run one live forward on
+// the same batch (training loops fold it into their task-loss forward) and
+// then call RestoredGradients.
+func (r *GradientRestorer) PrepareTargets(ks []*TaskKnowledge, x *tensor.Tensor) {
+	params := r.m.Params()
+	r.saved = nn.FlattenParamsInto(r.saved, params)
+	for len(r.targets) < len(ks) {
+		r.targets = append(r.targets, nil)
+	}
+	for i, k := range ks {
+		if cap(r.dense) < k.Store.N {
+			r.dense = make([]float32, k.Store.N)
+		}
+		r.dense = r.dense[:k.Store.N]
+		clear(r.dense)
+		k.Store.PasteInto(r.dense)
+		nn.SetFlatParams(params, r.dense)
+		logitsK := r.m.Forward(x, false)
+		r.targets[i] = maskedSoftmaxInto(r.targets[i], logitsK, k.Classes)
+	}
+	nn.SetFlatParams(params, r.saved)
+}
+
+// RestoredGradients is phase 2: given the logits of a live forward on the
+// prepared batch (whose layer caches must still be intact), it runs one
+// distillation backward per prepared task and returns the restored
+// gradients. The parameters' gradient accumulators are preserved across the
+// call. The returned slices are valid until the next phase-2 call.
+func (r *GradientRestorer) RestoredGradients(ks []*TaskKnowledge, logits *tensor.Tensor) [][]float32 {
+	params := r.m.Params()
+	r.savedGrads = nn.FlattenGradsInto(r.savedGrads, params)
+	for len(r.outBufs) < len(ks) {
+		r.outBufs = append(r.outBufs, nil)
+	}
+	r.outView = r.outView[:0]
+	for i, k := range ks {
+		dl := maskedDistillGrad(logits, r.targets[i], k.Classes)
+		nn.ZeroGrads(params)
+		r.m.Backward(dl)
+		r.outBufs[i] = nn.FlattenGradsInto(r.outBufs[i], params)
+		r.outView = append(r.outView, r.outBufs[i])
+	}
+	nn.SetFlatGrads(params, r.savedGrads)
+	return r.outView
+}
+
+// maskedSoftmaxInto is maskedSoftmax writing into a reused buffer.
+func maskedSoftmaxInto(dst *tensor.Tensor, logits *tensor.Tensor, classes []int) *tensor.Tensor {
+	dst = tensor.Ensure(dst, logits.Shape...)
+	clear(dst.Data)
+	maskedSoftmaxTo(dst, logits, classes)
+	return dst
 }
 
 // maskedSoftmax computes softmax over only the given classes, zero
 // elsewhere.
 func maskedSoftmax(logits *tensor.Tensor, classes []int) *tensor.Tensor {
+	out := tensor.New(logits.Shape...)
+	maskedSoftmaxTo(out, logits, classes)
+	return out
+}
+
+func maskedSoftmaxTo(out, logits *tensor.Tensor, classes []int) {
 	n, k := logits.Shape[0], logits.Shape[1]
-	out := tensor.New(n, k)
 	for i := 0; i < n; i++ {
 		maxV := float32(-3.4e38)
 		for _, c := range classes {
@@ -90,7 +148,6 @@ func maskedSoftmax(logits *tensor.Tensor, classes []int) *tensor.Tensor {
 			out.Data[i*k+c] *= inv
 		}
 	}
-	return out
 }
 
 // maskedDistillGrad is the gradient of cross-entropy between the live
@@ -111,21 +168,4 @@ func maskedDistillGrad(logits, targets *tensor.Tensor, classes []int) *tensor.Te
 
 func exp32(v float32) float32 {
 	return float32(math.Exp(float64(v)))
-}
-
-// flatInto writes the flattened parameters into dst (allocating when nil).
-func flatInto(params []*nn.Param, dst []float32) []float32 {
-	if dst == nil {
-		dst = make([]float32, 0, nn.NumParams(params))
-		for _, p := range params {
-			dst = append(dst, p.W.Data...)
-		}
-		return dst
-	}
-	off := 0
-	for _, p := range params {
-		copy(dst[off:], p.W.Data)
-		off += p.W.Len()
-	}
-	return dst
 }

@@ -80,7 +80,7 @@ func PrintSeries(w io.Writer, title string, series []Series) {
 	}
 }
 
-// Options selects experiment scale and determinism.
+// Options selects experiment scale, determinism, and parallelism.
 type Options struct {
 	Scale data.Scale
 	Seed  uint64
@@ -88,6 +88,16 @@ type Options struct {
 	// Tune, when set, adjusts the derived runtime before the run (tests and
 	// benches use it to shrink rounds/iterations further than CI defaults).
 	Tune func(*Runtime)
+	// Parallelism bounds concurrently-training clients inside the federated
+	// engine; 0 means GOMAXPROCS. Results are deterministic regardless.
+	Parallelism int
+	// KernelThreads bounds the tensor-kernel worker pool (GEMM row blocks,
+	// conv batch parallelism); 0 keeps the current process-wide setting.
+	// The pool is shared across clients and bounds the *extra* kernel
+	// goroutines: each training client also executes kernel work inline,
+	// so up to Parallelism + KernelThreads − 1 goroutines may run kernels
+	// at once. Results are bitwise identical for every setting.
+	KernelThreads int
 }
 
 // tune applies the optional runtime adjustment.

@@ -53,6 +53,9 @@ func TestFig4UnknownPanel(t *testing.T) {
 }
 
 func TestFig4MixedPanelStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	var buf bytes.Buffer
 	opt := ciOpts(2)
 	opt.Out = &buf
@@ -88,6 +91,9 @@ func TestFig4MixedPanelStructure(t *testing.T) {
 }
 
 func TestFig5ShapeAndReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	res, err := Fig5(ciOpts(3), []data.Family{data.CIFAR100, data.FC100})
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +118,9 @@ func TestFig5ShapeAndReduction(t *testing.T) {
 }
 
 func TestFig6BandwidthScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	res, err := Fig6(ciOpts(4))
 	if err != nil {
 		t.Fatal(err)
@@ -139,6 +148,9 @@ func TestFig6BandwidthScaling(t *testing.T) {
 }
 
 func TestFig7Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	res, err := Fig7(ciOpts(5))
 	if err != nil {
 		t.Fatal(err)
@@ -186,6 +198,9 @@ func fast(rt *Runtime) {
 }
 
 func TestTable1Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	opt := ciOpts(7)
 	opt.Tune = fast
 	res, err := Table1(opt, []data.Family{data.CIFAR100})
@@ -210,6 +225,9 @@ func TestTable1Structure(t *testing.T) {
 }
 
 func TestFig8Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	opt := ciOpts(8)
 	opt.Tune = fast
 	res, err := Fig8(opt)
@@ -227,6 +245,9 @@ func TestFig8Structure(t *testing.T) {
 }
 
 func TestFig9SubsetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	opt := ciOpts(9)
 	opt.Tune = fast
 	res, err := Fig9(opt, []string{"MobileNetV2", "SENet18"})
@@ -262,6 +283,9 @@ func TestHyperSearchFindsConfig(t *testing.T) {
 }
 
 func TestAblationStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	opt := ciOpts(10)
 	opt.Tune = fast
 	res, err := Ablation(opt)

@@ -87,7 +87,7 @@ func Fig4(panel string, opt Options) (*Fig4Result, error) {
 	res := &Fig4Result{Panel: panel, Dataset: spec.family.Name, Methods: methods,
 		Raw: map[string]*fed.Result{}}
 	for _, m := range methods {
-		r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+		r := runOne(m, opt, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds)
 		res.Raw[m] = r
 		s := Series{Label: m}
 		for _, tp := range r.PerTask {

@@ -38,7 +38,7 @@ func Fig5(opt Options, datasets []data.Family) (*Fig5Result, error) {
 		res.Datasets = append(res.Datasets, fam.Name)
 		res.VolumeGB[fam.Name] = map[string]float64{}
 		for _, m := range methods {
-			r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+			r := runOne(m, opt, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds)
 			last := r.PerTask[len(r.PerTask)-1]
 			res.VolumeGB[fam.Name][m] = gb(last.UpBytes + last.DownBytes)
 		}

@@ -47,7 +47,7 @@ func Fig6(opt Options) (*Fig6Result, error) {
 
 		res.Hours[combo.label] = map[string][]float64{}
 		for _, m := range methods {
-			r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+			r := runOne(m, opt, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds)
 			ref := r.PerTask[len(r.PerTask)-1].CommHours
 			hours := make([]float64, len(device.Fig6Bandwidths))
 			for i, bw := range device.Fig6Bandwidths {

@@ -48,7 +48,7 @@ func Fig7(opt Options) (*Fig7Result, error) {
 	methods := []string{"GEM", "FedWEIT", "FedKNOW"}
 	res := &Fig7Result{NumTasks: numTasks, Methods: methods, Raw: map[string]*fed.Result{}}
 	for _, m := range methods {
-		r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, merged.NumClasses, "ResNet18", merged, opt.Seed)
+		r := runOne(m, opt, rt, fixedCluster{cluster}, seqs, merged.NumClasses, "ResNet18", merged)
 		res.Raw[m] = r
 		acc := Series{Label: m}
 		fgt := Series{Label: m}

@@ -55,7 +55,7 @@ func Fig8(opt Options) (*Fig8Result, error) {
 
 		var accRow, fgtRow []Series
 		for _, m := range methods {
-			r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+			r := runOne(m, opt, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds)
 			res.Raw[fmt.Sprintf("%s@%d", m, nClients)] = r
 			acc := Series{Label: fmt.Sprintf("%s (%d clients)", m, nClients)}
 			fgt := Series{Label: acc.Label}

@@ -50,7 +50,7 @@ func Fig9(opt Options, models []string) (*Fig9Result, error) {
 		res.Series[arch] = map[string]Series{}
 		var panel []Series
 		for _, m := range methods {
-			r := runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+			r := runOne(m, opt, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds)
 			res.Raw[arch+"/"+m] = r
 			s := Series{Label: m}
 			for _, tp := range r.PerTask {

@@ -38,6 +38,9 @@ func runMethod(t testing.TB, method string, seed uint64, numTasks int) *fed.Resu
 // noise at this tiny scale cannot flip the outcome; everything is
 // deterministic, so this is a stable regression gate.
 func TestHeadlineFedKNOWBeatsFedAvgAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full federated training run; skipped in -short")
+	}
 	var fkAcc, faAcc float64
 	seeds := []uint64{11, 22, 33, 44, 55}
 	for _, seed := range seeds {

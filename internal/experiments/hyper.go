@@ -42,7 +42,7 @@ func HyperSearch(method string, opt Options) (*HyperResult, error) {
 			rt := rt
 			rt.LR = lr
 			rt.LRDecay = decay
-			r := runOne(method, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, "SixCNN", ds, opt.Seed)
+			r := runOne(method, opt, rt, fixedCluster{cluster}, seqs, ds.NumClasses, "SixCNN", ds)
 			res.Searched++
 			acc := r.PerTask[len(r.PerTask)-1].AvgAccuracy
 			fmt.Fprintf(opt.out(), "hyper %s lr=%g decay=%g → acc %.4f\n", method, lr, decay, acc)

@@ -109,16 +109,19 @@ func builderFor(arch string, numClasses, inC, inH, inW, width int) func(*tensor.
 
 // runOne executes one method on one prepared federation and returns the
 // engine result.
-func runOne(method string, scale data.Scale, rt Runtime, cluster clusterLike,
-	seqs [][]data.ClientTask, numClasses int, arch string, ds *data.Dataset, seed uint64) *fed.Result {
+func runOne(method string, opt Options, rt Runtime, cluster clusterLike,
+	seqs [][]data.ClientTask, numClasses int, arch string, ds *data.Dataset) *fed.Result {
+	if opt.KernelThreads > 0 {
+		tensor.SetKernelThreads(opt.KernelThreads)
+	}
 	cfg := fed.Config{
 		Method: method, Rounds: rt.Rounds, LocalIters: rt.LocalIters,
 		BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
 		NumClasses: numClasses, Bandwidth: rt.Bandwidth, MemScale: rt.MemScale,
-		Seed: seed,
+		Seed: opt.Seed, Parallelism: opt.Parallelism,
 	}
 	e := fed.NewEngine(cfg, cluster.cluster(), seqs,
 		builderFor(arch, numClasses, ds.C, ds.H, ds.W, rt.Width),
-		MethodFactory(method, scale))
+		MethodFactory(method, opt.Scale))
 	return e.Run()
 }

@@ -41,7 +41,7 @@ func Table1(opt Options, datasets []data.Family) (*Table1Result, error) {
 
 		results := map[string]*fed.Result{}
 		for _, m := range AllMethods {
-			results[m] = runOne(m, opt.Scale, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds, opt.Seed)
+			results[m] = runOne(m, opt, rt, fixedCluster{cluster}, seqs, ds.NumClasses, arch, ds)
 		}
 		nTasks := len(tasks)
 		if nTasks > maxTasks {

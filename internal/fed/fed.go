@@ -121,6 +121,9 @@ type client struct {
 	// batching state
 	order []int
 	cur   int
+	// aggregation scratch, reused every round
+	flatBuf   []float32
+	mergedBuf []float32
 }
 
 // Result aggregates a run's outputs.
@@ -153,6 +156,10 @@ type Engine struct {
 	commSeconds float64
 	upBytes     int64
 	downBytes   int64
+
+	// aggregation scratch, reused every round
+	preBuf    [][]float32
+	globalBuf []float32
 }
 
 // NewEngine builds clients: one model per client from the builder, the
@@ -299,16 +306,22 @@ func (e *Engine) trainTask(taskIdx int, res *Result) {
 
 // aggregate performs FedAvg over alive clients and installs the global
 // model, then invokes AfterAggregate with each client's pre-aggregation
-// parameters.
+// parameters. Flattened-parameter vectors live in engine/client scratch
+// buffers that are rewritten every round; strategies that keep a pre-
+// aggregation vector across rounds must copy it.
 func (e *Engine) aggregate(taskIdx int) {
 	var total float64
-	pre := make([][]float32, len(e.clients))
+	if e.preBuf == nil {
+		e.preBuf = make([][]float32, len(e.clients))
+	}
+	pre := e.preBuf
 	var global []float32
 	for i, c := range e.clients {
 		if !c.alive || c.offline {
 			continue
 		}
-		flat := nn.FlattenParams(c.ctx.Model.Params())
+		c.flatBuf = nn.FlattenParamsInto(c.flatBuf, c.ctx.Model.Params())
+		flat := c.flatBuf
 		pre[i] = flat
 		w := float64(len(c.seq[taskIdx].Train))
 		if w == 0 {
@@ -316,7 +329,11 @@ func (e *Engine) aggregate(taskIdx int) {
 		}
 		total += w
 		if global == nil {
-			global = make([]float32, len(flat))
+			if cap(e.globalBuf) < len(flat) {
+				e.globalBuf = make([]float32, len(flat))
+			}
+			global = e.globalBuf[:len(flat)]
+			clear(global)
 		}
 		tensor.AxpySlice(global, float32(w), flat)
 	}
@@ -332,7 +349,11 @@ func (e *Engine) aggregate(taskIdx int) {
 		if mask == nil {
 			nn.SetFlatParams(c.ctx.Model.Params(), global)
 		} else {
-			merged := append([]float32(nil), pre[c.ctx.ID]...)
+			if cap(c.mergedBuf) < len(global) {
+				c.mergedBuf = make([]float32, len(global))
+			}
+			merged := c.mergedBuf[:len(global)]
+			copy(merged, pre[c.ctx.ID])
 			for j, use := range mask {
 				if use {
 					merged[j] = global[j]

@@ -336,3 +336,51 @@ func TestEngineDropoutAlwaysHasParticipant(t *testing.T) {
 		t.Fatalf("steps %d below the at-least-one-participant floor", total)
 	}
 }
+
+// TestEngineDeterministicAcrossParallelism is the acceptance bar for the
+// parallel kernel layer: a full multi-task run must produce bitwise-identical
+// client parameters and accuracy matrices for every combination of client
+// parallelism and kernel thread count.
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	defer tensor.SetKernelThreads(0)
+	run := func(par, threads int) ([]float32, []float64) {
+		tensor.SetKernelThreads(threads)
+		cfg, cluster, seqs, build := tinySetup(5)
+		cfg.Parallelism = par
+		var clients []*passthrough
+		e := NewEngine(cfg, cluster, seqs, build, func(ctx *ClientCtx) Strategy {
+			p := &passthrough{ctx: ctx}
+			clients = append(clients, p)
+			return p
+		})
+		res := e.Run()
+		var params []float32
+		for _, c := range clients {
+			params = append(params, nn.FlattenParams(c.ctx.Model.Params())...)
+		}
+		var accs []float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j <= i; j++ {
+				accs = append(accs, res.Matrix.Get(i, j))
+			}
+		}
+		return params, accs
+	}
+	refParams, refAccs := run(1, 1)
+	for _, combo := range [][2]int{{4, 1}, {1, 4}, {4, 8}, {16, 16}} {
+		params, accs := run(combo[0], combo[1])
+		if len(params) != len(refParams) {
+			t.Fatalf("parallelism %v: param count %d vs %d", combo, len(params), len(refParams))
+		}
+		for i := range params {
+			if params[i] != refParams[i] {
+				t.Fatalf("parallelism %v: param[%d] = %v, want %v", combo, i, params[i], refParams[i])
+			}
+		}
+		for i := range accs {
+			if accs[i] != refAccs[i] {
+				t.Fatalf("parallelism %v: acc[%d] = %v, want %v", combo, i, accs[i], refAccs[i])
+			}
+		}
+	}
+}

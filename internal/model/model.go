@@ -36,8 +36,14 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return m.Net.Forward(x, train)
 }
 
-// Backward back-propagates an output gradient.
+// Backward back-propagates an output gradient. The gradient w.r.t. the
+// network input is not produced (every training loop discards it), which
+// lets the first layer skip its adjoint-lowering work; Backward returns nil
+// when the input gradient was elided.
 func (m *Model) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if s, ok := m.Net.(*nn.Sequential); ok {
+		return s.BackwardDiscardInput(dout)
+	}
 	return m.Net.Backward(dout)
 }
 

@@ -6,6 +6,14 @@ import (
 	"repro/internal/tensor"
 )
 
+// addInto writes a + b elementwise into dst in a single pass.
+func addInto(dst, a, b []float32) {
+	_ = dst[:len(a)]
+	for i, v := range a {
+		dst[i] = v + b[i]
+	}
+}
+
 // Identity passes its input through unchanged. Used as the default shortcut
 // in residual blocks.
 type Identity struct{}
@@ -27,6 +35,9 @@ func (Identity) Params() []*Param { return nil }
 type Residual struct {
 	Body     Layer
 	Shortcut Layer
+
+	yBuf  *tensor.Tensor
+	dxBuf *tensor.Tensor
 }
 
 // NewResidual returns a residual block; a nil shortcut means identity.
@@ -44,8 +55,9 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if a.Len() != b.Len() {
 		panic(fmt.Sprintf("nn: residual shape mismatch %v + %v", a.Shape, b.Shape))
 	}
-	y := a.Clone()
-	y.AddInPlace(b)
+	r.yBuf = tensor.Ensure(r.yBuf, a.Shape...)
+	y := r.yBuf
+	addInto(y.Data, a.Data, b.Data)
 	return y
 }
 
@@ -53,8 +65,9 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	da := r.Body.Backward(dout)
 	db := r.Shortcut.Backward(dout)
-	dx := da.Clone()
-	dx.AddInPlace(db)
+	r.dxBuf = tensor.Ensure(r.dxBuf, da.Shape...)
+	dx := r.dxBuf
+	addInto(dx.Data, da.Data, db.Data)
 	return dx
 }
 
@@ -71,6 +84,11 @@ type Concat struct {
 
 	lastChannels []int
 	lastH, lastW int
+
+	outs  []*tensor.Tensor
+	yBuf  *tensor.Tensor
+	dbBuf []*tensor.Tensor
+	dxBuf *tensor.Tensor
 }
 
 // NewConcat returns a channel-concatenation container.
@@ -78,7 +96,10 @@ func NewConcat(branches ...Layer) *Concat { return &Concat{Branches: branches} }
 
 // Forward evaluates every branch and stacks channels.
 func (c *Concat) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	outs := make([]*tensor.Tensor, len(c.Branches))
+	if c.outs == nil {
+		c.outs = make([]*tensor.Tensor, len(c.Branches))
+	}
+	outs := c.outs
 	totalC := 0
 	c.lastChannels = c.lastChannels[:0]
 	for i, br := range c.Branches {
@@ -91,7 +112,8 @@ func (c *Concat) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, h, w := outs[0].Shape[0], outs[0].Shape[2], outs[0].Shape[3]
 	c.lastH, c.lastW = h, w
-	y := tensor.New(n, totalC, h, w)
+	c.yBuf = tensor.Ensure(c.yBuf, n, totalC, h, w)
+	y := c.yBuf
 	spatial := h * w
 	for i := 0; i < n; i++ {
 		chOff := 0
@@ -112,17 +134,23 @@ func (c *Concat) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	totalC := dout.Shape[1]
 	spatial := c.lastH * c.lastW
 	var dx *tensor.Tensor
+	if c.dbBuf == nil {
+		c.dbBuf = make([]*tensor.Tensor, len(c.Branches))
+	}
 	chOff := 0
 	for bi, br := range c.Branches {
 		bc := c.lastChannels[bi]
-		db := tensor.New(n, bc, c.lastH, c.lastW)
+		c.dbBuf[bi] = tensor.Ensure(c.dbBuf[bi], n, bc, c.lastH, c.lastW)
+		db := c.dbBuf[bi]
 		for i := 0; i < n; i++ {
 			src := dout.Data[(i*totalC+chOff)*spatial : (i*totalC+chOff+bc)*spatial]
 			copy(db.Data[i*bc*spatial:(i+1)*bc*spatial], src)
 		}
 		d := br.Backward(db)
 		if dx == nil {
-			dx = d.Clone()
+			c.dxBuf = tensor.Ensure(c.dxBuf, d.Shape...)
+			dx = c.dxBuf
+			copy(dx.Data, d.Data)
 		} else {
 			dx.AddInPlace(d)
 		}
@@ -146,6 +174,8 @@ type ChannelShuffle struct {
 	Groups int
 
 	lastShape []int
+	yBuf      *tensor.Tensor
+	dxBuf     *tensor.Tensor
 }
 
 // NewChannelShuffle returns a shuffle over the given group count.
@@ -160,7 +190,8 @@ func (s *ChannelShuffle) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	s.lastShape = append(s.lastShape[:0], x.Shape...)
 	per := c / s.Groups
 	spatial := h * w
-	y := tensor.New(x.Shape...)
+	s.yBuf = tensor.Ensure(s.yBuf, x.Shape...)
+	y := s.yBuf
 	for i := 0; i < n; i++ {
 		for g := 0; g < s.Groups; g++ {
 			for p := 0; p < per; p++ {
@@ -178,7 +209,8 @@ func (s *ChannelShuffle) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := s.lastShape[0], s.lastShape[1], s.lastShape[2], s.lastShape[3]
 	per := c / s.Groups
 	spatial := h * w
-	dx := tensor.New(s.lastShape...)
+	s.dxBuf = tensor.Ensure(s.dxBuf, s.lastShape...)
+	dx := s.dxBuf
 	for i := 0; i < n; i++ {
 		for g := 0; g < s.Groups; g++ {
 			for p := 0; p < per; p++ {
@@ -205,6 +237,11 @@ type SEBlock struct {
 	lastX     *tensor.Tensor
 	lastGate  *tensor.Tensor
 	lastShape []int
+
+	sqBuf    *tensor.Tensor
+	yBuf     *tensor.Tensor
+	dgateBuf *tensor.Tensor
+	dxBuf    *tensor.Tensor
 }
 
 // NewSEBlock returns a squeeze-and-excitation block over c channels with the
@@ -229,7 +266,8 @@ func (s *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	s.lastX = x
 	s.lastShape = append(s.lastShape[:0], x.Shape...)
 	// squeeze
-	sq := tensor.New(n, c)
+	s.sqBuf = tensor.Ensure(s.sqBuf, n, c)
+	sq := s.sqBuf
 	inv := 1 / float32(h*w)
 	spatial := h * w
 	for i := 0; i < n; i++ {
@@ -246,7 +284,8 @@ func (s *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	gate := s.sig.Forward(s.FC2.Forward(s.relu.Forward(s.FC1.Forward(sq, train), train), train), train)
 	s.lastGate = gate
 	// scale
-	y := tensor.New(x.Shape...)
+	s.yBuf = tensor.Ensure(s.yBuf, x.Shape...)
+	y := s.yBuf
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			g := gate.Data[i*c+ch]
@@ -264,8 +303,10 @@ func (s *SEBlock) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := s.lastShape[0], s.lastShape[1], s.lastShape[2], s.lastShape[3]
 	spatial := h * w
 	// dGate[i,ch] = sum_j dout * x ; dx (scale path) = dout * gate
-	dgate := tensor.New(n, c)
-	dx := tensor.New(s.lastShape...)
+	s.dgateBuf = tensor.Ensure(s.dgateBuf, n, c)
+	dgate := s.dgateBuf
+	s.dxBuf = tensor.Ensure(s.dxBuf, s.lastShape...)
+	dx := s.dxBuf
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			base := (i*c + ch) * spatial

@@ -10,13 +10,22 @@ import (
 // Conv2D is a 2-D convolution over NCHW batches, implemented as im2col +
 // GEMM. Groups splits input and output channels into independent groups
 // (groups == InC == OutC gives a depthwise convolution).
+//
+// Forward parallelises over the batch dimension through the shared kernel
+// pool (every image writes disjoint output and column regions). Backward
+// runs two deterministic passes: a batch-parallel pass for the input
+// gradient (disjoint per-image writes) and an in-order pass for the weight
+// gradient so dW accumulates identically for every thread count.
+//
+// All intermediate buffers (column matrices, outputs, gradients, bias
+// partials) are retained on the layer and reused, so steady-state training
+// performs no heap allocations.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad, Groups int
 	Bias                              bool
 	W                                 *Param // (OutC, InC/Groups * K * K)
 	B                                 *Param // (OutC), nil when Bias is false
 
-	lastX        *tensor.Tensor
 	lastCols     []float32 // im2col buffers for the whole batch, reused
 	lastOutH     int
 	lastOutW     int
@@ -25,6 +34,12 @@ type Conv2D struct {
 	lastInW      int
 	flops        float64
 	colsPerImage int
+
+	yBuf     *tensor.Tensor // forward output, reused
+	dxBuf    *tensor.Tensor // backward input-gradient, reused
+	dcols    []float32      // batch-wide column-gradient scratch
+	biasPart []float32      // per-image bias-gradient partial sums
+	wT       []float32      // W^T, transposed once per backward batch
 }
 
 // NewConv2D builds a convolution with Kaiming-normal initialisation.
@@ -51,72 +66,190 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	outH := tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
 	outW := tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
-	gi := c.InC / c.Groups   // input channels per group
-	go_ := c.OutC / c.Groups // output channels per group
+	gi := c.InC / c.Groups // input channels per group
 	fanIn := gi * c.K * c.K
-	c.colsPerImage = c.InC * c.K * c.K * outH * outW
+	spatial := outH * outW
+	c.colsPerImage = c.InC * c.K * c.K * spatial
 	need := n * c.colsPerImage
 	if cap(c.lastCols) < need {
 		c.lastCols = make([]float32, need)
 	}
 	c.lastCols = c.lastCols[:need]
-	c.lastX, c.lastN, c.lastInH, c.lastInW, c.lastOutH, c.lastOutW = x, n, h, w, outH, outW
+	c.lastN, c.lastInH, c.lastInW, c.lastOutH, c.lastOutW = n, h, w, outH, outW
 
-	y := tensor.New(n, c.OutC, outH, outW)
-	imgSize := c.InC * h * w
-	outImg := c.OutC * outH * outW
+	c.yBuf = tensor.Ensure(c.yBuf, n, c.OutC, outH, outW)
+	y := c.yBuf
+	if n > 1 && tensor.KernelThreads() > 1 {
+		tensor.Parallel(n, func(lo, hi int) { c.forwardRange(x, y, lo, hi) })
+	} else {
+		c.forwardRange(x, y, 0, n)
+	}
+	c.flops = 2 * float64(n) * float64(c.OutC) * float64(fanIn) * float64(spatial)
+	return y
+}
+
+// forwardRange lowers and convolves images [lo, hi) of the batch. Every
+// image touches only its own slice of cols and y, so ranges can run
+// concurrently and the result is independent of the batch partitioning.
+func (c *Conv2D) forwardRange(x, y *tensor.Tensor, lo, hi int) {
+	h, w := c.lastInH, c.lastInW
+	outH, outW := c.lastOutH, c.lastOutW
+	gi := c.InC / c.Groups
+	go_ := c.OutC / c.Groups
+	fanIn := gi * c.K * c.K
 	spatial := outH * outW
-	for i := 0; i < n; i++ {
+	imgSize := c.InC * h * w
+	outImg := c.OutC * spatial
+	for i := lo; i < hi; i++ {
 		cols := c.lastCols[i*c.colsPerImage : (i+1)*c.colsPerImage]
 		tensor.Im2Col(cols, x.Data[i*imgSize:(i+1)*imgSize], c.InC, h, w, c.K, c.K, c.Stride, c.Pad, outH, outW)
+		yi := y.Data[i*outImg : (i+1)*outImg]
+		clear(yi)
 		for g := 0; g < c.Groups; g++ {
 			wg := c.W.W.Data[g*go_*fanIn : (g+1)*go_*fanIn]
 			cg := cols[g*gi*c.K*c.K*spatial : (g+1)*gi*c.K*c.K*spatial]
-			yg := y.Data[i*outImg+g*go_*spatial : i*outImg+(g+1)*go_*spatial]
+			yg := yi[g*go_*spatial : (g+1)*go_*spatial]
 			tensor.Gemm(yg, wg, cg, go_, fanIn, spatial, false, false)
 		}
 		if c.Bias {
 			for oc := 0; oc < c.OutC; oc++ {
 				b := c.B.W.Data[oc]
-				row := y.Data[i*outImg+oc*spatial : i*outImg+(oc+1)*spatial]
+				row := yi[oc*spatial : (oc+1)*spatial]
 				for j := range row {
 					row[j] += b
 				}
 			}
 		}
 	}
-	c.flops = 2 * float64(n) * float64(c.OutC) * float64(fanIn) * float64(spatial)
-	return y
+}
+
+// BackwardParamsOnly accumulates dW (and dB) without producing the input
+// gradient: the adjoint im2col work is skipped entirely. Used for the first
+// layer of a network, whose dX nobody consumes.
+func (c *Conv2D) BackwardParamsOnly(dout *tensor.Tensor) {
+	n := c.lastN
+	if c.Bias {
+		if cap(c.biasPart) < n*c.OutC {
+			c.biasPart = make([]float32, n*c.OutC)
+		}
+		c.biasPart = c.biasPart[:n*c.OutC]
+		spatial := c.lastOutH * c.lastOutW
+		outImg := c.OutC * spatial
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				row := dout.Data[i*outImg+oc*spatial : i*outImg+(oc+1)*spatial]
+				var s float32
+				for _, v := range row {
+					s += v
+				}
+				c.biasPart[i*c.OutC+oc] = s
+			}
+		}
+	}
+	c.backwardWeights(dout)
 }
 
 // Backward accumulates dW (and dB) and returns dX via the col2im adjoint.
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	n, outH, outW := c.lastN, c.lastOutH, c.lastOutW
+	n := c.lastN
 	h, w := c.lastInH, c.lastInW
+
+	c.dxBuf = tensor.Ensure(c.dxBuf, n, c.InC, h, w)
+	dx := c.dxBuf
+	if cap(c.dcols) < n*c.colsPerImage {
+		c.dcols = make([]float32, n*c.colsPerImage)
+	}
+	c.dcols = c.dcols[:n*c.colsPerImage]
+	if c.Bias {
+		if cap(c.biasPart) < n*c.OutC {
+			c.biasPart = make([]float32, n*c.OutC)
+		}
+		c.biasPart = c.biasPart[:n*c.OutC]
+	}
+
+	// Transpose each group's kernel once per batch: the dCols GEMM below
+	// multiplies by W^T for every image, and handing it an already-
+	// transposed left operand saves the per-call packing.
+	{
+		gi := c.InC / c.Groups
+		go_ := c.OutC / c.Groups
+		fanIn := gi * c.K * c.K
+		if cap(c.wT) < c.Groups*fanIn*go_ {
+			c.wT = make([]float32, c.Groups*fanIn*go_)
+		}
+		c.wT = c.wT[:c.Groups*fanIn*go_]
+		for g := 0; g < c.Groups; g++ {
+			wg := c.W.W.Data[g*go_*fanIn : (g+1)*go_*fanIn]
+			wTg := c.wT[g*fanIn*go_ : (g+1)*fanIn*go_]
+			for r := 0; r < go_; r++ {
+				row := wg[r*fanIn : (r+1)*fanIn]
+				for j, v := range row {
+					wTg[j*go_+r] = v
+				}
+			}
+		}
+	}
+
+	// Pass 1 — input gradient, batch-parallel: every image writes its own
+	// dcols / dx / biasPart slices.
+	if n > 1 && tensor.KernelThreads() > 1 {
+		tensor.Parallel(n, func(lo, hi int) { c.backwardInputRange(dout, dx, lo, hi) })
+	} else {
+		c.backwardInputRange(dout, dx, 0, n)
+	}
+
+	c.backwardWeights(dout)
+	return dx
+}
+
+// backwardWeights is the weight-gradient pass: images in a fixed order so dW
+// (and dB) accumulate identically regardless of the thread count. The
+// per-image GEMMs still run on the kernel pool internally (they parallelise
+// over dW rows, which is partition-independent).
+func (c *Conv2D) backwardWeights(dout *tensor.Tensor) {
+	n := c.lastN
 	gi := c.InC / c.Groups
 	go_ := c.OutC / c.Groups
 	fanIn := gi * c.K * c.K
-	spatial := outH * outW
+	spatial := c.lastOutH * c.lastOutW
 	outImg := c.OutC * spatial
-	imgSize := c.InC * h * w
-
-	dx := tensor.New(n, c.InC, h, w)
-	dcols := make([]float32, c.InC*c.K*c.K*spatial)
 	for i := 0; i < n; i++ {
 		cols := c.lastCols[i*c.colsPerImage : (i+1)*c.colsPerImage]
-		for j := range dcols {
-			dcols[j] = 0
-		}
 		for g := 0; g < c.Groups; g++ {
 			dyg := dout.Data[i*outImg+g*go_*spatial : i*outImg+(g+1)*go_*spatial]
 			cg := cols[g*gi*c.K*c.K*spatial : (g+1)*gi*c.K*c.K*spatial]
 			// dW += dY × cols^T  → (go_, fanIn)
 			dwg := c.W.Grad.Data[g*go_*fanIn : (g+1)*go_*fanIn]
 			tensor.Gemm(dwg, dyg, cg, go_, spatial, fanIn, false, true)
-			// dCols = W^T × dY → (fanIn, spatial)
+		}
+		if c.Bias {
+			for oc := 0; oc < c.OutC; oc++ {
+				c.B.Grad.Data[oc] += c.biasPart[i*c.OutC+oc]
+			}
+		}
+	}
+}
+
+// backwardInputRange computes the column gradients, bias partial sums, and
+// input gradient for images [lo, hi). All writes are disjoint per image.
+func (c *Conv2D) backwardInputRange(dout, dx *tensor.Tensor, lo, hi int) {
+	h, w := c.lastInH, c.lastInW
+	outH, outW := c.lastOutH, c.lastOutW
+	gi := c.InC / c.Groups
+	go_ := c.OutC / c.Groups
+	fanIn := gi * c.K * c.K
+	spatial := outH * outW
+	outImg := c.OutC * spatial
+	imgSize := c.InC * h * w
+	for i := lo; i < hi; i++ {
+		dcols := c.dcols[i*c.colsPerImage : (i+1)*c.colsPerImage]
+		clear(dcols)
+		for g := 0; g < c.Groups; g++ {
+			dyg := dout.Data[i*outImg+g*go_*spatial : i*outImg+(g+1)*go_*spatial]
+			// dCols = W^T × dY → (fanIn, spatial), with W^T pre-transposed.
 			dcg := dcols[g*gi*c.K*c.K*spatial : (g+1)*gi*c.K*c.K*spatial]
-			wg := c.W.W.Data[g*go_*fanIn : (g+1)*go_*fanIn]
-			tensor.Gemm(dcg, wg, dyg, fanIn, go_, spatial, true, false)
+			wTg := c.wT[g*fanIn*go_ : (g+1)*fanIn*go_]
+			tensor.Gemm(dcg, wTg, dyg, fanIn, go_, spatial, false, false)
 		}
 		if c.Bias {
 			for oc := 0; oc < c.OutC; oc++ {
@@ -125,12 +258,13 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 				for _, v := range row {
 					s += v
 				}
-				c.B.Grad.Data[oc] += s
+				c.biasPart[i*c.OutC+oc] = s
 			}
 		}
-		tensor.Col2Im(dx.Data[i*imgSize:(i+1)*imgSize], dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, outH, outW)
+		dxi := dx.Data[i*imgSize : (i+1)*imgSize]
+		clear(dxi)
+		tensor.Col2Im(dxi, dcols, c.InC, h, w, c.K, c.K, c.Stride, c.Pad, outH, outW)
 	}
-	return dx
 }
 
 // Params returns the kernel (and bias when present).

@@ -6,6 +6,14 @@ import (
 	"repro/internal/tensor"
 )
 
+// Layer outputs and input gradients are written into per-layer scratch
+// buffers that are reused across iterations: a tensor returned by Forward or
+// Backward is valid only until the same method runs again on that layer.
+// Every training loop in this repo follows forward → loss → backward →
+// step, which consumes each tensor before its buffer is rewritten; anything
+// that must outlive the next pass (soft targets, flattened gradients) is
+// copied by its producer.
+
 // Linear is a fully connected layer: y = xW^T + b, with x of shape (N, In).
 type Linear struct {
 	In, Out int
@@ -14,6 +22,9 @@ type Linear struct {
 
 	lastX *tensor.Tensor
 	flops float64
+	yBuf  *tensor.Tensor
+	dxBuf *tensor.Tensor
+	xView tensor.Tensor
 }
 
 // NewLinear builds a Linear layer with Kaiming-uniform initialisation.
@@ -28,9 +39,16 @@ func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
 // Forward computes the affine map for a batch.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
-	x2 := x.Reshape(n, l.In)
+	if x.Len() != n*l.In {
+		panic("nn: Linear input size mismatch")
+	}
+	l.xView.Data = x.Data
+	l.xView.Shape = append(l.xView.Shape[:0], n, l.In)
+	x2 := &l.xView
 	l.lastX = x2
-	y := tensor.New(n, l.Out)
+	l.yBuf = tensor.Ensure(l.yBuf, n, l.Out)
+	y := l.yBuf
+	clear(y.Data)
 	// y = x × W^T
 	tensor.Gemm(y.Data, x2.Data, l.W.W.Data, n, l.In, l.Out, false, true)
 	for i := 0; i < n; i++ {
@@ -54,7 +72,9 @@ func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			l.B.Grad.Data[j] += g
 		}
 	}
-	dx := tensor.New(n, l.In)
+	l.dxBuf = tensor.Ensure(l.dxBuf, n, l.In)
+	dx := l.dxBuf
+	clear(dx.Data)
 	// dX = dout × W
 	tensor.Gemm(dx.Data, dout.Data, l.W.W.Data, n, l.Out, l.In, false, false)
 	return dx
@@ -68,7 +88,8 @@ func (l *Linear) FLOPs() float64 { return l.flops }
 
 // ReLU is max(0, x).
 type ReLU struct {
-	mask []bool
+	yBuf  *tensor.Tensor
+	dxBuf *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation.
@@ -76,29 +97,29 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward clamps negatives to zero.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	if cap(r.mask) < len(y.Data) {
-		r.mask = make([]bool, len(y.Data))
-	}
-	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
+	r.yBuf = tensor.Ensure(r.yBuf, x.Shape...)
+	y := r.yBuf
+	for i, v := range x.Data {
 		if v <= 0 {
-			y.Data[i] = 0
-			r.mask[i] = false
-		} else {
-			r.mask[i] = true
+			v = 0
 		}
+		y.Data[i] = v
 	}
 	return y
 }
 
-// Backward zeroes gradients where the input was non-positive.
+// Backward zeroes gradients where the input was non-positive. The pass mask
+// is recovered from the cached output's sign (y > 0 ⇔ x > 0), so no
+// separate mask array is maintained.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
-			dx.Data[i] = 0
+	r.dxBuf = tensor.Ensure(r.dxBuf, dout.Shape...)
+	dx := r.dxBuf
+	yd := r.yBuf.Data
+	for i, g := range dout.Data {
+		if yd[i] <= 0 {
+			g = 0
 		}
+		dx.Data[i] = g
 	}
 	return dx
 }
@@ -108,7 +129,9 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // ReLU6 is min(max(0,x),6), used by MobileNetV2.
 type ReLU6 struct {
-	mask []bool
+	mask  []bool
+	yBuf  *tensor.Tensor
+	dxBuf *tensor.Tensor
 }
 
 // NewReLU6 returns a ReLU6 activation.
@@ -116,12 +139,13 @@ func NewReLU6() *ReLU6 { return &ReLU6{} }
 
 // Forward clamps to [0, 6].
 func (r *ReLU6) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+	r.yBuf = tensor.Ensure(r.yBuf, x.Shape...)
+	y := r.yBuf
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
 	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
+	for i, v := range x.Data {
 		switch {
 		case v <= 0:
 			y.Data[i] = 0
@@ -130,6 +154,7 @@ func (r *ReLU6) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			y.Data[i] = 6
 			r.mask[i] = false
 		default:
+			y.Data[i] = v
 			r.mask[i] = true
 		}
 	}
@@ -138,9 +163,12 @@ func (r *ReLU6) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward passes gradient only through the linear region.
 func (r *ReLU6) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	r.dxBuf = tensor.Ensure(r.dxBuf, dout.Shape...)
+	dx := r.dxBuf
+	for i, g := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -153,6 +181,7 @@ func (r *ReLU6) Params() []*Param { return nil }
 // Sigmoid is the logistic activation, used in squeeze-and-excitation gates.
 type Sigmoid struct {
 	lastY *tensor.Tensor
+	dxBuf *tensor.Tensor
 }
 
 // NewSigmoid returns a Sigmoid activation.
@@ -160,17 +189,18 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies 1/(1+e^-x).
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := tensor.New(x.Shape...)
+	s.lastY = tensor.Ensure(s.lastY, x.Shape...)
+	y := s.lastY
 	for i, v := range x.Data {
 		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
-	s.lastY = y
 	return y
 }
 
 // Backward multiplies by y(1-y).
 func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dout.Shape...)
+	s.dxBuf = tensor.Ensure(s.dxBuf, dout.Shape...)
+	dx := s.dxBuf
 	for i, g := range dout.Data {
 		y := s.lastY.Data[i]
 		dx.Data[i] = g * y * (1 - y)
@@ -184,21 +214,28 @@ func (s *Sigmoid) Params() []*Param { return nil }
 // Flatten reshapes (N, C, H, W) to (N, C*H*W).
 type Flatten struct {
 	lastShape []int
+	view      tensor.Tensor
+	dview     tensor.Tensor
 }
 
 // NewFlatten returns a Flatten layer.
 func NewFlatten() *Flatten { return &Flatten{} }
 
-// Forward flattens all but the batch dimension.
+// Forward flattens all but the batch dimension. The returned tensor is a
+// reused view sharing x's data.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.lastShape = append(f.lastShape[:0], x.Shape...)
 	n := x.Shape[0]
-	return x.Reshape(n, x.Len()/n)
+	f.view.Data = x.Data
+	f.view.Shape = append(f.view.Shape[:0], n, x.Len()/n)
+	return &f.view
 }
 
-// Backward restores the cached input shape.
+// Backward restores the cached input shape (again as a reused view).
 func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return dout.Reshape(f.lastShape...)
+	f.dview.Data = dout.Data
+	f.dview.Shape = append(f.dview.Shape[:0], f.lastShape...)
+	return &f.dview
 }
 
 // Params returns nil.

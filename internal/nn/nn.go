@@ -61,6 +61,31 @@ func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	return dout
 }
 
+// ParamsOnlyBackward is implemented by layers that can accumulate parameter
+// gradients without materialising the input gradient.
+type ParamsOnlyBackward interface {
+	BackwardParamsOnly(dout *tensor.Tensor)
+}
+
+// BackwardDiscardInput back-propagates like Backward but tells the first
+// layer that nobody will consume the network input's gradient, letting it
+// skip the adjoint-lowering work entirely. It returns nil when the input
+// gradient was elided. Use only at the outermost network level, where the
+// training loops discard the returned gradient.
+func (s *Sequential) BackwardDiscardInput(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 1; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	if len(s.Layers) == 0 {
+		return dout
+	}
+	if first, ok := s.Layers[0].(ParamsOnlyBackward); ok {
+		first.BackwardParamsOnly(dout)
+		return nil
+	}
+	return s.Layers[0].Backward(dout)
+}
+
 // Params returns the concatenated parameters of all layers.
 func (s *Sequential) Params() []*Param {
 	var ps []*Param
@@ -88,20 +113,44 @@ func ZeroGrads(ps []*Param) {
 
 // FlattenParams copies all parameter values into a single vector.
 func FlattenParams(ps []*Param) []float32 {
-	out := make([]float32, 0, NumParams(ps))
-	for _, p := range ps {
-		out = append(out, p.W.Data...)
+	return FlattenParamsInto(nil, ps)
+}
+
+// FlattenParamsInto copies all parameter values into dst, reusing its
+// storage when the capacity suffices (dst may be nil). Hot paths — the
+// per-round FedAvg flatten, gradient restoration — call this with a retained
+// buffer so steady-state rounds allocate nothing.
+func FlattenParamsInto(dst []float32, ps []*Param) []float32 {
+	n := NumParams(ps)
+	if cap(dst) < n {
+		dst = make([]float32, n)
 	}
-	return out
+	dst = dst[:n]
+	off := 0
+	for _, p := range ps {
+		off += copy(dst[off:], p.W.Data)
+	}
+	return dst
 }
 
 // FlattenGrads copies all gradients into a single vector.
 func FlattenGrads(ps []*Param) []float32 {
-	out := make([]float32, 0, NumParams(ps))
-	for _, p := range ps {
-		out = append(out, p.Grad.Data...)
+	return FlattenGradsInto(nil, ps)
+}
+
+// FlattenGradsInto copies all gradients into dst, reusing its storage when
+// the capacity suffices (dst may be nil).
+func FlattenGradsInto(dst []float32, ps []*Param) []float32 {
+	n := NumParams(ps)
+	if cap(dst) < n {
+		dst = make([]float32, n)
 	}
-	return out
+	dst = dst[:n]
+	off := 0
+	for _, p := range ps {
+		off += copy(dst[off:], p.Grad.Data)
+	}
+	return dst
 }
 
 // SetFlatParams writes a flat vector (as produced by FlattenParams) back

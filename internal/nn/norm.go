@@ -23,6 +23,9 @@ type BatchNorm2D struct {
 	lastXHat  *tensor.Tensor
 	lastStd   []float64
 	lastShape []int
+
+	yBuf  *tensor.Tensor
+	dxBuf *tensor.Tensor
 }
 
 // NewBatchNorm2D returns a batch-norm over c channels.
@@ -47,10 +50,11 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	spatial := h * w
 	cnt := float64(n * spatial)
-	y := tensor.New(x.Shape...)
+	b.yBuf = tensor.Ensure(b.yBuf, x.Shape...)
+	y := b.yBuf
 	b.lastShape = append(b.lastShape[:0], x.Shape...)
 	if train {
-		b.lastXHat = tensor.New(x.Shape...)
+		b.lastXHat = tensor.Ensure(b.lastXHat, x.Shape...)
 		if cap(b.lastStd) < c {
 			b.lastStd = make([]float64, c)
 		}
@@ -75,13 +79,17 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			variance /= cnt
 			std := math.Sqrt(variance + b.Eps)
 			b.lastStd[ch] = std
+			invStd := 1 / std
 			g, bt := float64(b.Gamma.W.Data[ch]), float64(b.Beta.W.Data[ch])
 			for i := 0; i < n; i++ {
 				base := (i*c + ch) * spatial
-				for j := 0; j < spatial; j++ {
-					xh := (float64(x.Data[base+j]) - mean) / std
-					b.lastXHat.Data[base+j] = float32(xh)
-					y.Data[base+j] = float32(g*xh + bt)
+				xRow := x.Data[base : base+spatial]
+				xhRow := b.lastXHat.Data[base : base+spatial]
+				yRow := y.Data[base : base+spatial]
+				for j, v := range xRow {
+					xh := (float64(v) - mean) * invStd
+					xhRow[j] = float32(xh)
+					yRow[j] = float32(g*xh + bt)
 				}
 			}
 			b.RunningMean[ch] = float32((1-b.Momentum)*float64(b.RunningMean[ch]) + b.Momentum*mean)
@@ -93,10 +101,15 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		mean := float64(b.RunningMean[ch])
 		std := math.Sqrt(float64(b.RunningVar[ch]) + b.Eps)
 		g, bt := float64(b.Gamma.W.Data[ch]), float64(b.Beta.W.Data[ch])
+		// y = scale*x + shift with the division hoisted out of the loop.
+		scale := g / std
+		shift := bt - g*mean/std
 		for i := 0; i < n; i++ {
 			base := (i*c + ch) * spatial
-			for j := 0; j < spatial; j++ {
-				y.Data[base+j] = float32(g*(float64(x.Data[base+j])-mean)/std + bt)
+			xRow := x.Data[base : base+spatial]
+			yRow := y.Data[base : base+spatial]
+			for j, v := range xRow {
+				yRow[j] = float32(scale*float64(v) + shift)
 			}
 		}
 	}
@@ -108,7 +121,8 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c := b.lastShape[0], b.lastShape[1]
 	spatial := b.lastShape[2] * b.lastShape[3]
 	cnt := float64(n * spatial)
-	dx := tensor.New(b.lastShape...)
+	b.dxBuf = tensor.Ensure(b.dxBuf, b.lastShape...)
+	dx := b.dxBuf
 	for ch := 0; ch < c; ch++ {
 		var sumDy, sumDyXHat float64
 		for i := 0; i < n; i++ {
@@ -122,13 +136,16 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		b.Beta.Grad.Data[ch] += float32(sumDy)
 		b.Gamma.Grad.Data[ch] += float32(sumDyXHat)
 		gamma := float64(b.Gamma.W.Data[ch])
-		invStd := 1 / b.lastStd[ch]
+		a := gamma / b.lastStd[ch]
+		meanDy := sumDy / cnt
+		meanDyXHat := sumDyXHat / cnt
 		for i := 0; i < n; i++ {
 			base := (i*c + ch) * spatial
-			for j := 0; j < spatial; j++ {
-				g := float64(dout.Data[base+j])
-				xh := float64(b.lastXHat.Data[base+j])
-				dx.Data[base+j] = float32(gamma * invStd * (g - sumDy/cnt - xh*sumDyXHat/cnt))
+			dRow := dout.Data[base : base+spatial]
+			xhRow := b.lastXHat.Data[base : base+spatial]
+			dxRow := dx.Data[base : base+spatial]
+			for j, g := range dRow {
+				dxRow[j] = float32(a * (float64(g) - meanDy - float64(xhRow[j])*meanDyXHat))
 			}
 		}
 	}

@@ -12,6 +12,8 @@ type MaxPool2D struct {
 
 	lastArg   []int // flat input index chosen per output element
 	lastShape []int
+	yBuf      *tensor.Tensor
+	dxBuf     *tensor.Tensor
 }
 
 // NewMaxPool2D returns a max-pooling layer.
@@ -22,7 +24,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	outH := tensor.ConvOutSize(h, m.K, m.Stride, 0)
 	outW := tensor.ConvOutSize(w, m.K, m.Stride, 0)
-	y := tensor.New(n, c, outH, outW)
+	m.yBuf = tensor.Ensure(m.yBuf, n, c, outH, outW)
+	y := m.yBuf
 	if cap(m.lastArg) < y.Len() {
 		m.lastArg = make([]int, y.Len())
 	}
@@ -64,7 +67,9 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward routes each output gradient to the argmax input position.
 func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.lastShape...)
+	m.dxBuf = tensor.Ensure(m.dxBuf, m.lastShape...)
+	dx := m.dxBuf
+	clear(dx.Data)
 	for oi, idx := range m.lastArg {
 		// idx is -1 when the window held no comparable value (all-NaN
 		// inputs from a diverged model); drop the gradient rather than
@@ -85,6 +90,8 @@ type AvgPool2D struct {
 	lastShape []int
 	lastOutH  int
 	lastOutW  int
+	yBuf      *tensor.Tensor
+	dxBuf     *tensor.Tensor
 }
 
 // NewAvgPool2D returns an average-pooling layer.
@@ -97,7 +104,8 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	outW := tensor.ConvOutSize(w, a.K, a.Stride, 0)
 	a.lastShape = append(a.lastShape[:0], x.Shape...)
 	a.lastOutH, a.lastOutW = outH, outW
-	y := tensor.New(n, c, outH, outW)
+	a.yBuf = tensor.Ensure(a.yBuf, n, c, outH, outW)
+	y := a.yBuf
 	inv := 1 / float32(a.K*a.K)
 	oi := 0
 	for i := 0; i < n; i++ {
@@ -125,7 +133,9 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward spreads each output gradient evenly over its window.
 func (a *AvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := a.lastShape[0], a.lastShape[1], a.lastShape[2], a.lastShape[3]
-	dx := tensor.New(a.lastShape...)
+	a.dxBuf = tensor.Ensure(a.dxBuf, a.lastShape...)
+	dx := a.dxBuf
+	clear(dx.Data)
 	inv := 1 / float32(a.K*a.K)
 	oi := 0
 	for i := 0; i < n; i++ {
@@ -155,6 +165,8 @@ func (a *AvgPool2D) Params() []*Param { return nil }
 // GlobalAvgPool reduces (N, C, H, W) to (N, C) by averaging each channel.
 type GlobalAvgPool struct {
 	lastShape []int
+	yBuf      *tensor.Tensor
+	dxBuf     *tensor.Tensor
 }
 
 // NewGlobalAvgPool returns a global average pooling layer.
@@ -164,7 +176,8 @@ func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	g.lastShape = append(g.lastShape[:0], x.Shape...)
-	y := tensor.New(n, c)
+	g.yBuf = tensor.Ensure(g.yBuf, n, c)
+	y := g.yBuf
 	inv := 1 / float32(h*w)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -182,7 +195,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward spreads the channel gradient uniformly over the plane.
 func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
-	dx := tensor.New(g.lastShape...)
+	g.dxBuf = tensor.Ensure(g.dxBuf, g.lastShape...)
+	dx := g.dxBuf
 	inv := 1 / float32(h*w)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {

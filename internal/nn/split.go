@@ -19,6 +19,11 @@ type SplitConcat struct {
 	lastBOutC int
 	lastOutH  int
 	lastOutW  int
+
+	xaBuf, xbBuf *tensor.Tensor
+	outBuf       *tensor.Tensor
+	daBuf, dbBuf *tensor.Tensor
+	dxBuf        *tensor.Tensor
 }
 
 // NewSplitConcat returns a split/concat container.
@@ -34,8 +39,9 @@ func (s *SplitConcat) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	s.lastShape = append(s.lastShape[:0], x.Shape...)
 	spatial := h * w
-	xa := tensor.New(n, s.SplitC, h, w)
-	xb := tensor.New(n, c-s.SplitC, h, w)
+	s.xaBuf = tensor.Ensure(s.xaBuf, n, s.SplitC, h, w)
+	s.xbBuf = tensor.Ensure(s.xbBuf, n, c-s.SplitC, h, w)
+	xa, xb := s.xaBuf, s.xbBuf
 	for i := 0; i < n; i++ {
 		copy(xa.Data[i*s.SplitC*spatial:(i+1)*s.SplitC*spatial],
 			x.Data[(i*c)*spatial:(i*c+s.SplitC)*spatial])
@@ -50,7 +56,8 @@ func (s *SplitConcat) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ca, cb := ya.Shape[1], yb.Shape[1]
 	oh, ow := ya.Shape[2], ya.Shape[3]
 	s.lastAOutC, s.lastBOutC, s.lastOutH, s.lastOutW = ca, cb, oh, ow
-	out := tensor.New(n, ca+cb, oh, ow)
+	s.outBuf = tensor.Ensure(s.outBuf, n, ca+cb, oh, ow)
+	out := s.outBuf
 	osp := oh * ow
 	for i := 0; i < n; i++ {
 		copy(out.Data[(i*(ca+cb))*osp:(i*(ca+cb)+ca)*osp], ya.Data[i*ca*osp:(i+1)*ca*osp])
@@ -66,15 +73,17 @@ func (s *SplitConcat) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	h, w := s.lastShape[2], s.lastShape[3]
 	ca, cb := s.lastAOutC, s.lastBOutC
 	osp := s.lastOutH * s.lastOutW
-	da := tensor.New(n, ca, s.lastOutH, s.lastOutW)
-	db := tensor.New(n, cb, s.lastOutH, s.lastOutW)
+	s.daBuf = tensor.Ensure(s.daBuf, n, ca, s.lastOutH, s.lastOutW)
+	s.dbBuf = tensor.Ensure(s.dbBuf, n, cb, s.lastOutH, s.lastOutW)
+	da, db := s.daBuf, s.dbBuf
 	for i := 0; i < n; i++ {
 		copy(da.Data[i*ca*osp:(i+1)*ca*osp], dout.Data[(i*(ca+cb))*osp:(i*(ca+cb)+ca)*osp])
 		copy(db.Data[i*cb*osp:(i+1)*cb*osp], dout.Data[(i*(ca+cb)+ca)*osp:(i+1)*(ca+cb)*osp])
 	}
 	dxa := s.A.Backward(da)
 	dxb := s.B.Backward(db)
-	dx := tensor.New(n, c, h, w)
+	s.dxBuf = tensor.Ensure(s.dxBuf, n, c, h, w)
+	dx := s.dxBuf
 	spatial := h * w
 	for i := 0; i < n; i++ {
 		copy(dx.Data[(i*c)*spatial:(i*c+s.SplitC)*spatial],

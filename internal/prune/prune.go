@@ -6,7 +6,6 @@ package prune
 
 import (
 	"fmt"
-	"sort"
 )
 
 // SparseStore holds the retained weights of one task: parallel slices of
@@ -42,28 +41,95 @@ func TopK(n int, rho float64) int {
 }
 
 // Extract retains the top-ρ fraction of weights by |w| as a SparseStore.
+// Selection runs in O(n) via quickselect on the magnitude threshold; ties at
+// the threshold are broken by ascending index, matching a full (|w| desc,
+// index asc) sort. NaN magnitudes (diverged models) rank as zero.
 func Extract(w []float32, rho float64) *SparseStore {
 	k := TopK(len(w), rho)
-	idx := make([]int32, len(w))
-	for i := range idx {
-		idx[i] = int32(i)
+	if k == 0 {
+		return &SparseStore{N: len(w)}
 	}
-	// Partial selection: full sort is fine at these sizes and keeps the
-	// code obvious; k-th element selection would save a log factor only.
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := abs32(w[idx[a]]), abs32(w[idx[b]])
-		if va != vb {
-			return va > vb
+	mag := make([]float32, len(w))
+	for i, v := range w {
+		mag[i] = absOrZero(v)
+	}
+	t := kthLargest(mag, k)
+	greater := 0
+	for _, v := range w {
+		if absOrZero(v) > t {
+			greater++
 		}
-		return idx[a] < idx[b]
-	})
-	sel := append([]int32(nil), idx[:k]...)
-	sort.Slice(sel, func(a, b int) bool { return sel[a] < sel[b] })
-	vals := make([]float32, k)
-	for i, j := range sel {
-		vals[i] = w[j]
+	}
+	ties := k - greater
+	sel := make([]int32, 0, k)
+	vals := make([]float32, 0, k)
+	for i, v := range w {
+		a := absOrZero(v)
+		if a > t {
+			sel = append(sel, int32(i))
+			vals = append(vals, v)
+		} else if a == t && ties > 0 {
+			ties--
+			sel = append(sel, int32(i))
+			vals = append(vals, v)
+		}
 	}
 	return &SparseStore{N: len(w), Indices: sel, Values: vals}
+}
+
+// absOrZero is |v| with NaN mapped to 0 so selection has a total order.
+func absOrZero(v float32) float32 {
+	if v != v {
+		return 0
+	}
+	return abs32(v)
+}
+
+// kthLargest returns the k-th largest value of a (1-based) by iterative
+// quickselect with a median-of-three pivot and three-way partitioning, so
+// heavily-duplicated inputs (sparse deltas are mostly zeros) stay linear
+// instead of degrading quadratically. The slice is permuted in place.
+func kthLargest(a []float32, k int) float32 {
+	pos := k - 1
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		// Median-of-three pivot value.
+		p0, p1, p2 := a[lo], a[lo+(hi-lo)/2], a[hi]
+		if p0 > p1 {
+			p0, p1 = p1, p0
+		}
+		if p1 > p2 {
+			p1 = p2
+			if p0 > p1 {
+				p1 = p0
+			}
+		}
+		pivot := p1
+		// Dutch-flag partition, descending: [ >pivot | ==pivot | <pivot ].
+		lt, gt := lo, hi
+		for i := lo; i <= gt; {
+			switch v := a[i]; {
+			case v > pivot:
+				a[lt], a[i] = a[i], a[lt]
+				lt++
+				i++
+			case v < pivot:
+				a[i], a[gt] = a[gt], a[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case pos < lt:
+			hi = lt - 1
+		case pos > gt:
+			lo = gt + 1
+		default:
+			return pivot
+		}
+	}
+	return a[pos]
 }
 
 // ExtractSegments retains the top-ρ fraction of weights *within each

@@ -1,19 +1,89 @@
 package tensor
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
-func BenchmarkGemm64(b *testing.B) {
-	r := NewRNG(1)
-	m, k, n := 64, 64, 64
-	a := Randn(r, 1, m, k)
-	x := Randn(r, 1, k, n)
+// BenchmarkGemm covers the square and conv-shaped problems the training
+// stack actually issues: (out-channels × fan-in × spatial) for forward,
+// plus transposed variants for the backward GEMMs.
+func BenchmarkGemm(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+		tA, tB  bool
+	}{
+		{"square64", 64, 64, 64, false, false},
+		{"square128", 128, 128, 128, false, false},
+		{"square256", 256, 256, 256, false, false},
+		{"conv-fwd-32x144x256", 32, 144, 256, false, false},
+		{"conv-fwd-64x576x256", 64, 576, 256, false, false},
+		{"conv-dW-32x256x144", 32, 256, 144, false, true},
+		{"linear-fwd-16x1024x100", 16, 1024, 100, false, true},
+		{"linear-dW-100x16x1024", 100, 16, 1024, true, false},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			r := NewRNG(1)
+			a := make([]float32, sh.m*sh.k)
+			x := make([]float32, sh.k*sh.n)
+			r.FillNorm(a, 1)
+			r.FillNorm(x, 1)
+			c := make([]float32, sh.m*sh.n)
+			flop := 2 * float64(sh.m) * float64(sh.k) * float64(sh.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clear(c)
+				Gemm(c, a, x, sh.m, sh.k, sh.n, sh.tA, sh.tB)
+			}
+			b.ReportMetric(flop*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkGemmSparse measures the zero-skipping path used when forwarding
+// FedKNOW's ρ=10 % knowledge models.
+func BenchmarkGemmSparse(b *testing.B) {
+	r := NewRNG(5)
+	m, k, n := 32, 144, 256
+	a := make([]float32, m*k)
+	x := make([]float32, k*n)
+	r.FillNorm(a, 1)
+	r.FillNorm(x, 1)
+	for i := range a {
+		if r.Float64() < 0.9 {
+			a[i] = 0
+		}
+	}
 	c := make([]float32, m*n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for j := range c {
-			c[j] = 0
-		}
-		Gemm(c, a.Data, x.Data, m, k, n, false, false)
+		clear(c)
+		Gemm(c, a, x, m, k, n, false, false)
+	}
+}
+
+// BenchmarkGemmParallel exercises the kernel pool at several thread counts
+// on a conv-backward-shaped problem (single-threaded on a 1-core runner).
+func BenchmarkGemmParallel(b *testing.B) {
+	defer SetKernelThreads(0)
+	r := NewRNG(6)
+	m, k, n := 64, 576, 1024
+	a := make([]float32, m*k)
+	x := make([]float32, k*n)
+	r.FillNorm(a, 1)
+	r.FillNorm(x, 1)
+	c := make([]float32, m*n)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			SetKernelThreads(threads)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clear(c)
+				Gemm(c, a, x, m, k, n, false, false)
+			}
+		})
 	}
 }
 
@@ -31,6 +101,21 @@ func BenchmarkIm2Col(b *testing.B) {
 	}
 }
 
+func BenchmarkCol2Im(b *testing.B) {
+	r := NewRNG(4)
+	c, h, w, k := 16, 16, 16, 3
+	outH := ConvOutSize(h, k, 1, 1)
+	outW := ConvOutSize(w, k, 1, 1)
+	cols := make([]float32, c*k*k*outH*outW)
+	r.FillNorm(cols, 1)
+	img := make([]float32, c*h*w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(img)
+		Col2Im(img, cols, c, h, w, k, k, 1, 1, outH, outW)
+	}
+}
+
 func BenchmarkDot(b *testing.B) {
 	r := NewRNG(3)
 	x := make([]float32, 1<<16)
@@ -40,5 +125,17 @@ func BenchmarkDot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		DotSlice(x, y)
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	r := NewRNG(7)
+	x := make([]float32, 1<<16)
+	y := make([]float32, 1<<16)
+	r.FillNorm(x, 1)
+	r.FillNorm(y, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AxpySlice(y, 0.999, x)
 	}
 }

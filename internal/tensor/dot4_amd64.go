@@ -1,0 +1,45 @@
+//go:build amd64
+
+package tensor
+
+// dot4fma computes four simultaneous dot products of a against b0..b3 over
+// n float32s (n must be a multiple of 8, n >= 8) using AVX2 FMA, writing the
+// four sums into out. Implemented in dot4_amd64.s.
+//
+//go:noescape
+func dot4fma(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+//
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (requires OSXSAVE).
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// hasDot4 reports whether the AVX2+FMA micro-kernel is usable: the CPU must
+// support FMA3 and AVX2 and the OS must have enabled YMM state. Detected
+// once at startup; the pure-Go kernel remains the fallback everywhere else.
+var hasDot4 = func() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// OS must enable XMM+YMM state saving.
+	if xa, _ := xgetbv0(); xa&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}()

@@ -1,0 +1,120 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dot4fma(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+//
+// Four simultaneous dot products with AVX2 FMA: Y0..Y3 accumulate
+// a[p:p+8] * bj[p:p+8] per 8-float block. n must be a positive multiple
+// of 8 (the Go caller handles the scalar tail).
+TEXT ·dot4fma(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ n+40(FP), DX
+	MOVQ out+48(FP), DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	// Two 8-float blocks per iteration when possible, with independent
+	// accumulator pairs (Y0..Y3 and Y10..Y13) to hide FMA latency.
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	VXORPS Y12, Y12, Y12
+	VXORPS Y13, Y13, Y13
+
+	CMPQ DX, $16
+	JL   tail8
+
+loop16:
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VFMADD231PS (R8), Y4, Y0
+	VFMADD231PS (R9), Y4, Y1
+	VFMADD231PS (R10), Y4, Y2
+	VFMADD231PS (R11), Y4, Y3
+	VFMADD231PS 32(R8), Y5, Y10
+	VFMADD231PS 32(R9), Y5, Y11
+	VFMADD231PS 32(R10), Y5, Y12
+	VFMADD231PS 32(R11), Y5, Y13
+	ADDQ $64, SI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	SUBQ $16, DX
+	CMPQ DX, $16
+	JGE  loop16
+
+tail8:
+	CMPQ DX, $8
+	JL   reduce
+
+	VMOVUPS (SI), Y4
+	VFMADD231PS (R8), Y4, Y0
+	VFMADD231PS (R9), Y4, Y1
+	VFMADD231PS (R10), Y4, Y2
+	VFMADD231PS (R11), Y4, Y3
+	ADDQ $32, SI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $8, DX
+	JMP  tail8
+
+reduce:
+	// Fold the second accumulator set into the first.
+	VADDPS Y10, Y0, Y0
+	VADDPS Y11, Y1, Y1
+	VADDPS Y12, Y2, Y2
+	VADDPS Y13, Y3, Y3
+
+	// Horizontal sum of each YMM into a scalar lane.
+	VEXTRACTF128 $1, Y0, X4
+	VADDPS       X4, X0, X0
+	VEXTRACTF128 $1, Y1, X5
+	VADDPS       X5, X1, X1
+	VEXTRACTF128 $1, Y2, X6
+	VADDPS       X6, X2, X2
+	VEXTRACTF128 $1, Y3, X7
+	VADDPS       X7, X3, X3
+
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X3, X3, X3
+	VHADDPS X3, X3, X3
+
+	VMOVSS X0, (DI)
+	VMOVSS X1, 4(DI)
+	VMOVSS X2, 8(DI)
+	VMOVSS X3, 12(DI)
+	VZEROUPPER
+	RET
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

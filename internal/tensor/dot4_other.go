@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+var hasDot4 = false
+
+// dot4fma is never called on non-amd64 builds (hasDot4 is false).
+func dot4fma(a, b0, b1, b2, b3 *float32, n int, out *[4]float32) {
+	panic("tensor: dot4fma without hardware support")
+}

@@ -1,0 +1,45 @@
+package tensor
+
+import "testing"
+
+// TestIm2ColKernelLargerThanInput covers taps that fall entirely outside the
+// padded input (kernel larger than input+pad): the bounds-hoisted kernels
+// must zero-fill instead of panicking.
+func TestIm2ColKernelLargerThanInput(t *testing.T) {
+	// 1×1 spatial input, K=7, pad=3, stride=1 → outH=outW=1.
+	c, h, w, k, stride, pad := 2, 1, 1, 7, 1, 3
+	outH := ConvOutSize(h, k, stride, pad)
+	outW := ConvOutSize(w, k, stride, pad)
+	img := []float32{5, -7}
+	cols := make([]float32, c*k*k*outH*outW)
+	for i := range cols {
+		cols[i] = 99 // poison: every slot must be overwritten
+	}
+	Im2Col(cols, img, c, h, w, k, k, stride, pad, outH, outW)
+	// Reference: per-pixel bounds checks.
+	want := make([]float32, len(cols))
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				rowIdx := (ch*k+ky)*k + kx
+				iy, ix := ky-pad, kx-pad
+				if iy == 0 && ix == 0 {
+					want[rowIdx] = img[ch]
+				}
+			}
+		}
+	}
+	for i := range cols {
+		if cols[i] != want[i] {
+			t.Fatalf("cols[%d] = %v, want %v", i, cols[i], want[i])
+		}
+	}
+	// Adjoint must round-trip without panicking either.
+	dst := make([]float32, c*h*w)
+	Col2Im(dst, cols, c, h, w, k, k, stride, pad, outH, outW)
+	for ch := 0; ch < c; ch++ {
+		if dst[ch] != img[ch] {
+			t.Fatalf("col2im[%d] = %v, want %v", ch, dst[ch], img[ch])
+		}
+	}
+}

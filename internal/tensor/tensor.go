@@ -18,12 +18,14 @@ type Tensor struct {
 	Data  []float32
 }
 
-// numElems returns the product of dims, panicking on negative sizes.
+// numElems returns the product of dims, panicking on negative sizes. The
+// panic path formats a copy of the shape so the (hot, variadic) argument
+// slice never escapes to the heap.
 func numElems(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, append([]int(nil), shape...)))
 		}
 		n *= d
 	}
@@ -118,8 +120,16 @@ func (t *Tensor) AddInPlace(b *Tensor) {
 	if len(t.Data) != len(b.Data) {
 		panic("tensor: AddInPlace size mismatch")
 	}
-	for i, v := range b.Data {
-		t.Data[i] += v
+	x, y := t.Data, b.Data
+	for len(x) >= 4 && len(y) >= 4 {
+		x[0] += y[0]
+		x[1] += y[1]
+		x[2] += y[2]
+		x[3] += y[3]
+		x, y = x[4:], y[4:]
+	}
+	for i, v := range y {
+		x[i] += v
 	}
 }
 
@@ -158,8 +168,15 @@ func (t *Tensor) Axpy(a float32, x *Tensor) {
 	AxpySlice(t.Data, a, x.Data)
 }
 
-// AxpySlice computes dst += a*x over raw slices.
+// AxpySlice computes dst += a*x over raw slices, 4-way unrolled.
 func AxpySlice(dst []float32, a float32, x []float32) {
+	for len(dst) >= 4 && len(x) >= 4 {
+		dst[0] += a * x[0]
+		dst[1] += a * x[1]
+		dst[2] += a * x[2]
+		dst[3] += a * x[3]
+		dst, x = dst[4:], x[4:]
+	}
 	for i, v := range x {
 		dst[i] += a * v
 	}
@@ -170,12 +187,21 @@ func Dot(a, b *Tensor) float64 {
 	return DotSlice(a.Data, b.Data)
 }
 
-// DotSlice returns the inner product of two equal-length slices.
+// DotSlice returns the inner product of two equal-length slices, accumulated
+// in float64 across four unrolled lanes.
 func DotSlice(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("tensor: Dot size mismatch")
 	}
-	var s float64
+	var s0, s1, s2, s3 float64
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += float64(a[0]) * float64(b[0])
+		s1 += float64(a[1]) * float64(b[1])
+		s2 += float64(a[2]) * float64(b[2])
+		s3 += float64(a[3]) * float64(b[3])
+		a, b = a[4:], b[4:]
+	}
+	s := s0 + s1 + s2 + s3
 	for i, v := range a {
 		s += float64(v) * float64(b[i])
 	}
@@ -187,7 +213,15 @@ func (t *Tensor) Norm() float64 { return NormSlice(t.Data) }
 
 // NormSlice returns the Euclidean norm of a slice.
 func NormSlice(x []float32) float64 {
-	var s float64
+	var s0, s1, s2, s3 float64
+	for len(x) >= 4 {
+		s0 += float64(x[0]) * float64(x[0])
+		s1 += float64(x[1]) * float64(x[1])
+		s2 += float64(x[2]) * float64(x[2])
+		s3 += float64(x[3]) * float64(x[3])
+		x = x[4:]
+	}
+	s := s0 + s1 + s2 + s3
 	for _, v := range x {
 		s += float64(v) * float64(v)
 	}
@@ -238,79 +272,38 @@ func (t *Tensor) ArgMaxRow(r int, candidates []int) int {
 }
 
 // MatMul computes C = A×B for A (m×k) and B (k×n), returning an m×n tensor.
+// Hot paths should prefer MatMulInto with a reused destination.
 func MatMul(a, b *Tensor) *Tensor {
+	return MatMulInto(nil, a, b)
+}
+
+// MatMulInto computes C = A×B into dst, reusing dst's storage when it has
+// sufficient capacity (dst may be nil, or a tensor returned by a previous
+// call). The destination is fully overwritten.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	Gemm(c.Data, a.Data, b.Data, m, k, n, false, false)
-	return c
+	dst = Ensure(dst, m, n)
+	clear(dst.Data)
+	Gemm(dst.Data, a.Data, b.Data, m, k, n, false, false)
+	return dst
 }
 
-// Gemm computes C += op(A)×op(B) into c (m×n), where op transposes when the
-// corresponding flag is set. A is m×k (or k×m when transposed), B is k×n (or
-// n×k when transposed). c must be pre-sized m*n; it is accumulated into, so
-// callers wanting plain assignment must zero it first. The inner loop is
-// written j-innermost over contiguous rows for cache friendliness.
-func Gemm(c, a, b []float32, m, k, n int, transA, transB bool) {
-	switch {
-	case !transA && !transB:
-		for i := 0; i < m; i++ {
-			ci := c[i*n : (i+1)*n]
-			ai := a[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
-		}
-	case transA && !transB:
-		// A is k×m, op(A) is m×k.
-		for p := 0; p < k; p++ {
-			ap := a[p*m : (p+1)*m]
-			bp := b[p*n : (p+1)*n]
-			for i := 0; i < m; i++ {
-				av := ap[i]
-				if av == 0 {
-					continue
-				}
-				ci := c[i*n : (i+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
-		}
-	case !transA && transB:
-		// B is n×k, op(B) is k×n.
-		for i := 0; i < m; i++ {
-			ai := a[i*k : (i+1)*k]
-			ci := c[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				var s float32
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				ci[j] += s
-			}
-		}
-	default: // transA && transB
-		for i := 0; i < m; i++ {
-			ci := c[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				var s float32
-				for p := 0; p < k; p++ {
-					s += a[p*m+i] * bj[p]
-				}
-				ci[j] += s
-			}
-		}
+// Ensure returns a tensor with the given shape, reusing t's storage when its
+// capacity suffices (t may be nil). Contents are unspecified: callers that
+// need zeros must clear the data themselves. This is the scratch-buffer
+// primitive the allocation-free training pipeline is built on.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := numElems(shape)
+	if t == nil {
+		return New(shape...)
 	}
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
 }
