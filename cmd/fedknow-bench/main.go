@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/fed"
 	"repro/internal/tensor"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent clients per federated engine (0 = GOMAXPROCS)")
 	kernelThreads := flag.Int("kernel-threads", 0, "extra tensor-kernel workers shared across clients (0 = GOMAXPROCS); training clients also run kernels inline; results are identical for every setting")
+	progress := flag.Bool("progress", false, "stream one line per finished task of every engine run (full-scale runs take hours; this shows they are alive)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 
@@ -44,6 +46,12 @@ func main() {
 	}
 	opt := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout,
 		Parallelism: *parallel, KernelThreads: *kernelThreads}
+	if *progress {
+		opt.Observer = fed.ObserverFuncs{Task: func(tp fed.TaskPoint) {
+			fmt.Fprintf(os.Stderr, "  · task %d done: avg-acc %.4f, sim-hours %.4f\n",
+				tp.TaskIdx+1, tp.AvgAccuracy, tp.SimHours)
+		}}
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

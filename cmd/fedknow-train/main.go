@@ -1,16 +1,29 @@
 // Command fedknow-train runs one federated continual-learning job with
 // explicit knobs and prints the per-task accuracy, forgetting rate, time and
-// communication accounting.
+// communication accounting, streaming each row as the task finishes.
+//
+// By default the whole federation runs in-process over the loopback
+// transport. With -listen / -connect the same job runs over TCP: one server
+// process schedules rounds and aggregates, one process per client trains —
+// and the result is bit-identical to the loopback run of the same seed.
 //
 // Usage:
 //
 //	fedknow-train -dataset CIFAR100 -method FedKNOW -clients 4 -rounds 2
 //	fedknow-train -dataset MiniImageNet -method GEM -arch ResNet18
+//	fedknow-train -dataset CIFAR100 -dropout 0.2 -bandwidth 51200
+//
+//	# distributed: server plus one process per client
+//	fedknow-train -dataset CIFAR100 -clients 2 -listen :7070 &
+//	fedknow-train -dataset CIFAR100 -clients 2 -connect localhost:7070 -client-id 0 &
+//	fedknow-train -dataset CIFAR100 -clients 2 -connect localhost:7070 -client-id 1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 
 	"repro/internal/data"
@@ -20,6 +33,24 @@ import (
 	"repro/internal/model"
 	"repro/internal/tensor"
 )
+
+// job is everything derived from the flags that both wire roles and the
+// loopback run share; deriving it identically in every process is what makes
+// a distributed run reproduce the in-process one.
+type job struct {
+	cfg     fed.Config
+	fam     data.Family
+	scale   data.Scale
+	arch    string
+	width   int
+	clients int
+	tasks   int
+	ds      *data.Dataset
+	seqs    [][]data.ClientTask
+	cluster *device.Cluster
+	build   func(*tensor.RNG) *model.Model
+	factory fed.Factory
+}
 
 func main() {
 	dataset := flag.String("dataset", "CIFAR100", "CIFAR100, FC100, CORe50, MiniImageNet, TinyImageNet, SVHN")
@@ -32,8 +63,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent clients (0 = GOMAXPROCS)")
 	kernelThreads := flag.Int("kernel-threads", 0, "extra tensor-kernel workers shared across clients (0 = GOMAXPROCS); training clients also run kernels inline; results are identical for every setting")
+	dropout := flag.Float64("dropout", 0, "per-round probability that a client drops offline (failure injection; 0 disables)")
+	bandwidth := flag.Float64("bandwidth", 0, "per-client link bandwidth in bytes/second (0 = the paper's 1 MB/s default)")
+	listen := flag.String("listen", "", "run as a wire-transport server on this TCP address (e.g. :7070) and wait for -clients connections")
+	connect := flag.String("connect", "", "run as one wire-transport client of the server at this address")
+	clientID := flag.Int("client-id", 0, "this client's ID when using -connect (0 ≤ id < clients)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
+
+	if *listen != "" && *connect != "" {
+		fmt.Fprintln(os.Stderr, "-listen and -connect are mutually exclusive")
+		os.Exit(2)
+	}
 
 	fam, ok := data.FamilyByName(*dataset)
 	if !ok {
@@ -55,6 +96,9 @@ func main() {
 	if *iters > 0 {
 		rt.LocalIters = *iters
 	}
+	if *bandwidth > 0 {
+		rt.Bandwidth = *bandwidth
+	}
 	architecture := *arch
 	if architecture == "" {
 		if fam.Name == "MiniImageNet" || fam.Name == "TinyImageNet" {
@@ -69,25 +113,107 @@ func main() {
 	}
 	seqs := data.Federate(tasks, rt.Clients, alloc)
 
-	cfg := fed.Config{
-		Method: *method, Rounds: rt.Rounds, LocalIters: rt.LocalIters,
-		BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
-		NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: *seed,
-		Parallelism: *parallel,
+	j := &job{
+		cfg: fed.Config{
+			Method: *method, Rounds: rt.Rounds, LocalIters: rt.LocalIters,
+			BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
+			NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: *seed,
+			Parallelism: *parallel, DropoutProb: *dropout,
+		},
+		fam: fam, scale: sc, arch: architecture, width: rt.Width,
+		clients: rt.Clients, tasks: len(tasks), ds: ds, seqs: seqs,
+		cluster: device.Jetson20(),
+		build: func(rng *tensor.RNG) *model.Model {
+			return model.MustBuild(architecture, ds.NumClasses, ds.C, ds.H, ds.W, rt.Width, rng)
+		},
+		factory: experiments.MethodFactory(*method, sc),
 	}
-	build := func(rng *tensor.RNG) *model.Model {
-		return model.MustBuild(architecture, ds.NumClasses, ds.C, ds.H, ds.W, rt.Width, rng)
-	}
-	engine := fed.NewEngine(cfg, device.Jetson20(), seqs, build,
-		experiments.MethodFactory(*method, sc))
 
-	fmt.Printf("%s on %s (%s, %d clients, %d tasks, %s scale)\n",
-		*method, fam.Name, architecture, rt.Clients, len(tasks), sc)
-	res := engine.Run()
+	var err error
+	switch {
+	case *listen != "":
+		err = runServe(j, *listen)
+	case *connect != "":
+		err = runConnect(j, *connect, *clientID)
+	default:
+		runLoopback(j)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// fingerprint digests the full job — Config plus the knobs Config cannot
+// see (dataset, architecture, client count, task count, width, scale) — so
+// the wire handshake rejects any flag mismatch between processes.
+func (j *job) fingerprint() uint64 {
+	return j.cfg.Fingerprint(j.fam.Name, j.arch, j.scale.String(),
+		fmt.Sprint(j.clients), fmt.Sprint(j.tasks), fmt.Sprint(j.width))
+}
+
+// banner prints the run header shared by the loopback and server roles.
+func banner(j *job, transport string) {
+	fmt.Printf("%s on %s (%s, %d clients, %d tasks, %s scale, %s transport)\n",
+		j.cfg.Method, j.fam.Name, j.arch, j.clients, j.tasks, j.scale, transport)
 	fmt.Printf("%-6s %-10s %-10s %-10s %-12s %-12s\n",
 		"task", "avg-acc", "forget", "sim-hours", "up-bytes", "down-bytes")
-	for _, tp := range res.PerTask {
+}
+
+// streamRows returns an observer that prints each task's row the moment the
+// server finishes it.
+func streamRows() fed.RoundObserver {
+	return fed.ObserverFuncs{Task: func(tp fed.TaskPoint) {
 		fmt.Printf("%-6d %-10.4f %-10.4f %-10.4f %-12d %-12d\n",
 			tp.TaskIdx+1, tp.AvgAccuracy, tp.ForgettingRate, tp.SimHours, tp.UpBytes, tp.DownBytes)
+	}}
+}
+
+// runLoopback runs the whole federation in-process.
+func runLoopback(j *job) {
+	engine := fed.NewEngine(j.cfg, j.cluster, j.seqs, j.build, j.factory)
+	engine.SetObserver(streamRows())
+	banner(j, "loopback")
+	engine.Run()
+}
+
+// runServe is the server role of a distributed run: accept one TCP
+// connection per client, schedule the rounds, aggregate, stream results.
+func runServe(j *job, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
+	fmt.Printf("serving on %s, waiting for %d clients...\n", ln.Addr(), j.clients)
+	links, err := fed.Serve(ln, j.clients, j.fingerprint())
+	ln.Close()
+	if err != nil {
+		return err
+	}
+	srv := fed.NewServer(j.cfg.ServerConfigFor(j.clients, j.tasks), &fed.WeightedFedAvg{}, links)
+	srv.SetObserver(streamRows())
+	banner(j, "wire")
+	_, err = srv.Run(context.Background())
+	return err
+}
+
+// runConnect is the client role of a distributed run: rebuild this client's
+// shard and model deterministically from the shared flags, dial the server,
+// and follow the round lifecycle until the server closes the link.
+func runConnect(j *job, addr string, id int) error {
+	if id < 0 || id >= j.clients {
+		return fmt.Errorf("client id %d out of range [0,%d)", id, j.clients)
+	}
+	t, err := fed.Dial(addr, id, j.fingerprint())
+	if err != nil {
+		return err
+	}
+	c := fed.NewWireClient(j.cfg, id, j.clients, j.cluster.Devices[id%j.cluster.Size()],
+		j.seqs[id], j.build, j.factory)
+	fmt.Printf("client %d joined %s (%s on %s)\n", id, addr, j.cfg.Method, j.fam.Name)
+	if err := c.Run(context.Background(), t); err != nil {
+		return err
+	}
+	fmt.Printf("client %d done\n", id)
+	return nil
 }

@@ -55,6 +55,9 @@ func Ablation(opt Options) (*AblationResult, error) {
 		e := fed.NewEngine(cfg, cluster, seqs,
 			builderFor(arch, ds.NumClasses, ds.C, ds.H, ds.W, rt.Width),
 			core.Factory(v.opts))
+		if opt.Observer != nil {
+			e.SetObserver(opt.Observer)
+		}
 		r := e.Run()
 		last := r.PerTask[len(r.PerTask)-1]
 		res.Variants = append(res.Variants, v.label)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/device"
+	"repro/internal/fed"
 )
 
 // clusterLike lets experiments defer cluster construction.
@@ -98,6 +99,10 @@ type Options struct {
 	// so up to Parallelism + KernelThreads − 1 goroutines may run kernels
 	// at once. Results are bitwise identical for every setting.
 	KernelThreads int
+	// Observer, when set, streams every engine run's per-round and per-task
+	// progress (CLIs print live rows; dashboards can tail a long Full-scale
+	// run). It does not affect results.
+	Observer fed.RoundObserver
 }
 
 // tune applies the optional runtime adjustment.

@@ -74,6 +74,9 @@ func Fig10(opt Options) (*Fig10Result, error) {
 		}
 		e := fed.NewEngine(cfg, cluster, seqs,
 			builderFor(arch, ds.NumClasses, ds.C, ds.H, ds.W, rt.Width), setting.Factory)
+		if opt.Observer != nil {
+			e.SetObserver(opt.Observer)
+		}
 		r := e.Run()
 		last := r.PerTask[len(r.PerTask)-1]
 		res.Settings = append(res.Settings, setting.Label)

@@ -123,5 +123,8 @@ func runOne(method string, opt Options, rt Runtime, cluster clusterLike,
 	e := fed.NewEngine(cfg, cluster.cluster(), seqs,
 		builderFor(arch, numClasses, ds.C, ds.H, ds.W, rt.Width),
 		MethodFactory(method, opt.Scale))
+	if opt.Observer != nil {
+		e.SetObserver(opt.Observer)
+	}
 	return e.Run()
 }

@@ -1,0 +1,85 @@
+package fed
+
+import (
+	"math"
+	"testing"
+)
+
+// testAggregatorConformance checks the behaviour every Aggregator must
+// provide: empty rounds yield nil, weighting follows sample counts with
+// zero-weight clients counted once, and the result is a convex combination
+// that preserves unanimous coordinates exactly.
+func testAggregatorConformance(t *testing.T, newAgg func() Aggregator) {
+	t.Helper()
+	t.Run("empty round", func(t *testing.T) {
+		if got := newAgg().Aggregate(nil); got != nil {
+			t.Fatalf("empty round: got %v, want nil", got)
+		}
+	})
+	t.Run("single client is identity", func(t *testing.T) {
+		params := []float32{1, -2, 3.5}
+		got := newAgg().Aggregate([]*Update{{Participating: true, Weight: 17, Params: params}})
+		for i := range params {
+			if got[i] != params[i] {
+				t.Fatalf("single-client aggregate[%d] = %v, want %v", i, got[i], params[i])
+			}
+		}
+	})
+	t.Run("weighted averaging", func(t *testing.T) {
+		ups := []*Update{
+			{Participating: true, Weight: 1, Params: []float32{0, 4, 8}},
+			{Participating: true, Weight: 3, Params: []float32{4, 4, 0}},
+		}
+		got := newAgg().Aggregate(ups)
+		want := []float32{3, 4, 2} // (1·a + 3·b) / 4
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-6 {
+				t.Fatalf("aggregate[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+	t.Run("zero weight counts once", func(t *testing.T) {
+		ups := []*Update{
+			{Participating: true, Weight: 0, Params: []float32{0}},
+			{Participating: true, Weight: 1, Params: []float32{2}},
+		}
+		got := newAgg().Aggregate(ups)
+		if math.Abs(float64(got[0]-1)) > 1e-6 {
+			t.Fatalf("zero-weight client must count as weight 1: got %v, want 1", got[0])
+		}
+	})
+	t.Run("unanimity preserved", func(t *testing.T) {
+		// Identical inputs must aggregate back to (numerically) the same
+		// vector whatever the weights.
+		params := []float32{0.1, -0.2, 0.30000001}
+		ups := []*Update{
+			{Participating: true, Weight: 5, Params: params},
+			{Participating: true, Weight: 11, Params: params},
+			{Participating: true, Weight: 2, Params: params},
+		}
+		got := newAgg().Aggregate(ups)
+		for i := range params {
+			if math.Abs(float64(got[i]-params[i])) > 1e-6 {
+				t.Fatalf("unanimous aggregate[%d] = %v, want %v", i, got[i], params[i])
+			}
+		}
+	})
+	t.Run("scratch reuse does not leak", func(t *testing.T) {
+		agg := newAgg()
+		first := agg.Aggregate([]*Update{{Participating: true, Weight: 1, Params: []float32{1, 1}}})
+		if first[0] != 1 {
+			t.Fatal("first round wrong")
+		}
+		second := agg.Aggregate([]*Update{{Participating: true, Weight: 1, Params: []float32{9, 9}}})
+		if second[0] != 9 {
+			t.Fatalf("second round got %v: stale scratch", second[0])
+		}
+	})
+}
+
+func TestWeightedFedAvgConformance(t *testing.T) {
+	testAggregatorConformance(t, func() Aggregator { return &WeightedFedAvg{} })
+	if (&WeightedFedAvg{}).Name() == "" {
+		t.Fatal("aggregator must be identifiable")
+	}
+}

@@ -1,0 +1,297 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Client is one protocol endpoint: it wraps a Strategy, owns the local
+// model, training data and device accounting, and speaks the round lifecycle
+// over any Transport — in-memory goroutine (loopback) or TCP peer (wire)
+// alike.
+type Client struct {
+	cfg      Config
+	ctx      *ClientCtx
+	strategy Strategy
+	seq      []data.ClientTask
+	dev      device.Device
+
+	// sem, when non-nil, bounds concurrent compute across the co-resident
+	// loopback clients (the Config.Parallelism knob). Wire clients own their
+	// process and leave it nil.
+	sem chan struct{}
+
+	// batching state
+	order   []int
+	cur     int
+	curTask int
+
+	// scratch, reused every round/batch
+	flatBuf   []float32
+	mergedBuf []float32
+	idxBuf    []int
+	evalIdx   []int
+}
+
+// newClient builds a client whose RNG stream is already positioned; rng must
+// be the root's fork for this ID and refFlat the shared initial parameters.
+func newClient(cfg Config, id, numClients int, dev device.Device, seq []data.ClientTask,
+	build func(rng *tensor.RNG) *model.Model, factory Factory,
+	rng *tensor.RNG, refFlat []float32) *Client {
+	m := build(rng.Fork(7))
+	nn.SetFlatParams(m.Params(), refFlat)
+	ctx := &ClientCtx{
+		ID:         id,
+		NumClients: numClients,
+		Model:      m,
+		Opt:        opt.NewSGD(opt.Inv{Base: cfg.LR, Decay: cfg.LRDecay}, 0, 0),
+		RNG:        rng,
+		NumClasses: cfg.NumClasses,
+	}
+	return &Client{
+		cfg: cfg, ctx: ctx, strategy: factory(ctx),
+		seq: seq, dev: dev, curTask: -1,
+	}
+}
+
+// NewWireClient builds a standalone client endpoint (for a separate process
+// or goroutine dialing a server) that reproduces the loopback engine's
+// per-client state exactly. The RNG fork sequence is order-dependent, so it
+// replays the engine's construction order: the shared initial model comes
+// from fork 0xC0FFEE of the seed root, then one fork per lower client ID is
+// discarded to position the stream for this ID.
+func NewWireClient(cfg Config, id, numClients int, dev device.Device, seq []data.ClientTask,
+	build func(rng *tensor.RNG) *model.Model, factory Factory) *Client {
+	root := tensor.NewRNG(cfg.Seed)
+	ref := build(root.Fork(0xC0FFEE))
+	refFlat := nn.FlattenParams(ref.Params())
+	for j := 0; j < id; j++ {
+		root.Fork(uint64(j) + 1)
+	}
+	rng := root.Fork(uint64(id) + 1)
+	return newClient(cfg, id, numClients, dev, seq, build, factory, rng, refFlat)
+}
+
+// Ctx exposes the client's context (model, optimizer, RNG) for inspection.
+func (c *Client) Ctx() *ClientCtx { return c.ctx }
+
+// Run speaks the round lifecycle until the server closes the transport (a
+// clean shutdown), the client is evicted for exceeding device memory, or ctx
+// is cancelled. It owns the transport and closes it on every path;
+// cancellation closes it immediately so even a blocking wire Recv unblocks.
+func (c *Client) Run(ctx context.Context, t Transport) error {
+	defer t.Close()
+	stop := context.AfterFunc(ctx, func() { t.Close() })
+	defer stop()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		msg, err := t.Recv()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		rs, ok := msg.(*RoundStart)
+		if !ok {
+			return fmt.Errorf("fed: client %d got %T, want *RoundStart", c.ctx.ID, msg)
+		}
+		if rs.TaskIdx < 0 || rs.TaskIdx >= len(c.seq) {
+			return fmt.Errorf("fed: client %d got task index %d of %d", c.ctx.ID, rs.TaskIdx, len(c.seq))
+		}
+		if rs.TaskIdx != c.curTask {
+			c.order, c.cur = nil, 0
+			c.curTask = rs.TaskIdx
+		}
+		ct := c.seq[rs.TaskIdx]
+		if rs.Participate {
+			if err := c.trainAndUpload(t, ct); err != nil {
+				return err
+			}
+			if err := c.installGlobal(t, ct); err != nil {
+				return err
+			}
+		} else {
+			// Dropped out this round: acknowledge so the server's collection
+			// loop stays in lockstep, train nothing, keep stale parameters.
+			if err := t.Send(&Update{ClientID: c.ctx.ID}); err != nil {
+				return err
+			}
+		}
+		if rs.TaskDone {
+			re := c.finishTask(ct, rs.TaskIdx)
+			if err := t.Send(re); err != nil {
+				return err
+			}
+			if re.Dead {
+				return nil
+			}
+		}
+	}
+}
+
+// trainAndUpload runs the round's local iterations and sends the Update.
+func (c *Client) trainAndUpload(t Transport, ct data.ClientTask) error {
+	c.gate(func() {
+		for it := 0; it < c.cfg.LocalIters; it++ {
+			x, labels := c.nextBatch(ct, c.cfg.BatchSize)
+			c.strategy.TrainStep(x, labels, ct.Classes)
+		}
+	})
+	c.flatBuf = nn.FlattenParamsInto(c.flatBuf, c.ctx.Model.Params())
+	work := c.ctx.Model.FLOPsPerSample() * 3 * float64(c.cfg.BatchSize*c.cfg.LocalIters)
+	work += c.strategy.OverheadFLOPs() * float64(c.cfg.LocalIters)
+	return t.Send(&Update{
+		ClientID:       c.ctx.ID,
+		Participating:  true,
+		Weight:         float64(len(ct.Train)),
+		Params:         c.flatBuf,
+		ComputeSeconds: c.dev.TrainTime(work),
+		UpBytes:        int64(c.ctx.Model.ParamBytes() + c.strategy.ExtraUploadBytes()),
+		DownBytes:      int64(c.ctx.Model.ParamBytes() + c.strategy.ExtraDownloadBytes()),
+	})
+}
+
+// installGlobal receives the aggregated model, installs it (through the
+// strategy's aggregation mask, merging against the client's pre-aggregation
+// parameters), and runs AfterAggregate with the pre-aggregation vector.
+// flatBuf is rewritten next round; strategies that keep the pre-aggregation
+// vector across rounds must copy it.
+func (c *Client) installGlobal(t Transport, ct data.ClientTask) error {
+	msg, err := t.Recv()
+	if err != nil {
+		return fmt.Errorf("fed: client %d waiting for global model: %w", c.ctx.ID, err)
+	}
+	gm, ok := msg.(*GlobalModel)
+	if !ok {
+		return fmt.Errorf("fed: client %d got %T, want *GlobalModel", c.ctx.ID, msg)
+	}
+	global := gm.Params
+	c.gate(func() {
+		mask := c.strategy.AggregateMask()
+		if mask == nil {
+			nn.SetFlatParams(c.ctx.Model.Params(), global)
+		} else {
+			if cap(c.mergedBuf) < len(global) {
+				c.mergedBuf = make([]float32, len(global))
+			}
+			merged := c.mergedBuf[:len(global)]
+			copy(merged, c.flatBuf)
+			for j, use := range mask {
+				if use {
+					merged[j] = global[j]
+				}
+			}
+			nn.SetFlatParams(c.ctx.Model.Params(), merged)
+		}
+		c.strategy.AfterAggregate(c.flatBuf, ct)
+	})
+	return nil
+}
+
+// finishTask runs the task-end hooks: knowledge extraction, the OOM check
+// the heterogeneity study exercises, and (for survivors) evaluation on every
+// learned task.
+func (c *Client) finishTask(ct data.ClientTask, taskIdx int) *RoundEnd {
+	re := &RoundEnd{ClientID: c.ctx.ID}
+	c.gate(func() { c.strategy.TaskEnd(ct) })
+	if c.cfg.MemScale > 0 {
+		used := float64(c.ctx.Model.ParamBytes()*4+c.strategy.MemoryBytes()) * c.cfg.MemScale
+		if used > float64(c.dev.MemBytes) {
+			re.Dead = true
+			return re
+		}
+	}
+	accs := make([]float64, taskIdx+1)
+	c.gate(func() {
+		for p := 0; p <= taskIdx; p++ {
+			accs[p], c.evalIdx = evalClientTask(c.ctx.Model, c.seq[p], c.evalIdx)
+		}
+	})
+	re.EvalAccs = accs
+	return re
+}
+
+// gate runs fn under the shared compute semaphore when one is installed.
+func (c *Client) gate(fn func()) {
+	if c.sem != nil {
+		c.sem <- struct{}{}
+		defer func() { <-c.sem }()
+	}
+	fn()
+}
+
+// nextBatch draws the next batch of a client task, reshuffling each epoch.
+// The index slice is client scratch reused every call.
+func (c *Client) nextBatch(ct data.ClientTask, batchSize int) (*tensor.Tensor, []int) {
+	n := len(ct.Train)
+	if batchSize > n {
+		batchSize = n
+	}
+	if cap(c.idxBuf) < batchSize {
+		c.idxBuf = make([]int, 0, batchSize)
+	}
+	idx := c.idxBuf[:0]
+	for len(idx) < batchSize {
+		if c.cur >= len(c.order) {
+			c.order = c.ctx.RNG.Perm(n)
+			c.cur = 0
+		}
+		idx = append(idx, c.order[c.cur])
+		c.cur++
+	}
+	c.idxBuf = idx
+	m := c.ctx.Model
+	return data.Batch(ct.Train, idx, m.InC, m.InH, m.InW)
+}
+
+// EvalClientTask computes task-aware top-1 accuracy of the model on a
+// client task's test samples (argmax restricted to the task's classes).
+func EvalClientTask(m *model.Model, ct data.ClientTask) float64 {
+	acc, _ := evalClientTask(m, ct, nil)
+	return acc
+}
+
+// evalClientTask is EvalClientTask with a reusable index scratch slice; it
+// returns the (possibly grown) scratch so callers can thread it through.
+func evalClientTask(m *model.Model, ct data.ClientTask, idxScratch []int) (float64, []int) {
+	if len(ct.Test) == 0 {
+		return 0, idxScratch
+	}
+	const evalBatch = 32
+	if cap(idxScratch) < evalBatch {
+		idxScratch = make([]int, evalBatch)
+	}
+	correct := 0
+	for start := 0; start < len(ct.Test); start += evalBatch {
+		end := start + evalBatch
+		if end > len(ct.Test) {
+			end = len(ct.Test)
+		}
+		idx := idxScratch[:end-start]
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := data.Batch(ct.Test, idx, m.InC, m.InH, m.InW)
+		logits := m.Forward(x, false)
+		for i := range idx {
+			if logits.ArgMaxRow(i, ct.Classes) == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(ct.Test)), idxScratch
+}

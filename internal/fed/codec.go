@@ -1,0 +1,305 @@
+package fed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format (all integers little-endian, following internal/checkpoint):
+//
+//	frame   := kind(uint8) length(uint32) payload
+//	payload :=
+//	  Hello       clientID(uint32) jobFingerprint(uint64)
+//	  RoundStart  taskIdx(uint32) round(uint32) flags(uint8)
+//	              flags: bit0 participate, bit1 taskDone
+//	  Update      clientID(uint32) flags(uint8) weight(float64)
+//	              computeSeconds(float64) upBytes(uint64) downBytes(uint64)
+//	              n(uint64) n×float32
+//	              flags: bit0 participating
+//	  GlobalModel n(uint64) n×float32
+//	  RoundEnd    clientID(uint32) flags(uint8) n(uint64) n×float64
+//	              flags: bit0 dead
+//
+// Floats travel as their IEEE-754 bit patterns, so a wire run reproduces a
+// loopback run bit for bit.
+const (
+	// maxFrame bounds a frame payload (256 MB ≈ a 64M-parameter model);
+	// anything larger is a corrupt or hostile stream.
+	maxFrame = 1 << 28
+
+	flagParticipate = 1 << 0
+	flagTaskDone    = 1 << 1
+	flagDead        = 1 << 0
+)
+
+// helloMsg is the transport-level identification frame a wire client sends
+// after dialing: its claimed client ID plus the job fingerprint the server
+// checks for configuration agreement. It never crosses the Transport
+// interface.
+type helloMsg struct {
+	clientID    int
+	fingerprint uint64
+}
+
+func (*helloMsg) Kind() Kind { return KindHello }
+
+// Encode writes one frame to w.
+func Encode(w io.Writer, m Msg) error {
+	_, err := encodeFrame(w, m, nil)
+	return err
+}
+
+// encodeFrame writes one frame, building the payload in scratch (grown as
+// needed and returned so callers can reuse it — parameter payloads are
+// multi-MB and re-sent every round).
+func encodeFrame(w io.Writer, m Msg, scratch []byte) ([]byte, error) {
+	payload := appendPayload(scratch[:0], m)
+	var hdr [5]byte
+	hdr[0] = byte(m.Kind())
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return payload, err
+	}
+	_, err := w.Write(payload)
+	return payload, err
+}
+
+func appendPayload(buf []byte, m Msg) []byte {
+	switch v := m.(type) {
+	case *helloMsg:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.clientID))
+		buf = binary.LittleEndian.AppendUint64(buf, v.fingerprint)
+	case *RoundStart:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.TaskIdx))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Round))
+		var flags byte
+		if v.Participate {
+			flags |= flagParticipate
+		}
+		if v.TaskDone {
+			flags |= flagTaskDone
+		}
+		buf = append(buf, flags)
+	case *Update:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.ClientID))
+		var flags byte
+		if v.Participating {
+			flags |= flagParticipate
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Weight))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.ComputeSeconds))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.UpBytes))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.DownBytes))
+		buf = appendF32s(buf, v.Params)
+	case *GlobalModel:
+		buf = appendF32s(buf, v.Params)
+	case *RoundEnd:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.ClientID))
+		var flags byte
+		if v.Dead {
+			flags |= flagDead
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(v.EvalAccs)))
+		for _, a := range v.EvalAccs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a))
+		}
+	default:
+		panic(fmt.Sprintf("fed: cannot encode message type %T", m))
+	}
+	return buf
+}
+
+func appendF32s(buf []byte, vals []float32) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// decodeScratch holds the reusable buffers of one decoding stream. Messages
+// decoded with the same scratch alias its buffers: each stays valid only
+// until the next slice-bearing message of the same element type is decoded
+// — which matches the lockstep protocol, where every message is consumed
+// before the link's next Recv. Use a fresh scratch for retained messages.
+type decodeScratch struct {
+	payload []byte
+	f32     []float32
+	f64     []float64
+}
+
+// grow returns a length-n slice backed by *buf, reallocating only when the
+// capacity is exceeded (parameter payloads are multi-MB and arrive every
+// round).
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	return (*buf)[:n]
+}
+
+// Decode reads one frame from r into freshly allocated buffers. io.EOF at a
+// frame boundary means the peer closed cleanly; a truncated frame surfaces
+// as io.ErrUnexpectedEOF.
+func Decode(r io.Reader) (Msg, error) {
+	return decodeWith(r, &decodeScratch{})
+}
+
+func decodeWith(r io.Reader, s *decodeScratch) (Msg, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("fed: frame length %d exceeds limit", n)
+	}
+	payload := grow(&s.payload, int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodePayload(Kind(hdr[0]), payload, s)
+}
+
+// cursor walks a payload with bounds checking.
+type cursor struct {
+	buf     []byte
+	off     int
+	err     error
+	scratch *decodeScratch
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if c.off+n > len(c.buf) {
+		c.err = fmt.Errorf("fed: truncated payload (want %d bytes at offset %d of %d)", n, c.off, len(c.buf))
+		return nil
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u8() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) f32s() []float32 {
+	n := c.u64()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.buf)-c.off)/4 {
+		c.err = fmt.Errorf("fed: float32 count %d exceeds payload", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := grow(&c.scratch.f32, int(n))
+	b := c.take(int(n) * 4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (c *cursor) f64s() []float64 {
+	n := c.u64()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.buf)-c.off)/8 {
+		c.err = fmt.Errorf("fed: float64 count %d exceeds payload", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := grow(&c.scratch.f64, int(n))
+	for i := range out {
+		out[i] = c.f64()
+	}
+	return out
+}
+
+func (c *cursor) finish(m Msg) (Msg, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(c.buf) {
+		return nil, fmt.Errorf("fed: %d trailing payload bytes", len(c.buf)-c.off)
+	}
+	return m, nil
+}
+
+func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
+	c := &cursor{buf: payload, scratch: s}
+	switch kind {
+	case KindHello:
+		m := &helloMsg{clientID: int(c.u32()), fingerprint: c.u64()}
+		return c.finish(m)
+	case KindRoundStart:
+		m := &RoundStart{TaskIdx: int(c.u32()), Round: int(c.u32())}
+		flags := c.u8()
+		m.Participate = flags&flagParticipate != 0
+		m.TaskDone = flags&flagTaskDone != 0
+		return c.finish(m)
+	case KindUpdate:
+		m := &Update{ClientID: int(c.u32())}
+		m.Participating = c.u8()&flagParticipate != 0
+		m.Weight = c.f64()
+		m.ComputeSeconds = c.f64()
+		m.UpBytes = int64(c.u64())
+		m.DownBytes = int64(c.u64())
+		m.Params = c.f32s()
+		return c.finish(m)
+	case KindGlobalModel:
+		m := &GlobalModel{Params: c.f32s()}
+		return c.finish(m)
+	case KindRoundEnd:
+		m := &RoundEnd{ClientID: int(c.u32())}
+		m.Dead = c.u8()&flagDead != 0
+		m.EvalAccs = c.f64s()
+		return c.finish(m)
+	default:
+		return nil, fmt.Errorf("fed: unknown message kind %d", kind)
+	}
+}

@@ -1,0 +1,153 @@
+package fed
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// roundTrip encodes m, decodes the frame, and returns the result.
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatalf("encode %T: %v", m, err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after one frame", buf.Len())
+	}
+	return got
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		&helloMsg{clientID: 7, fingerprint: 0xDEADBEEFCAFE},
+		&RoundStart{TaskIdx: 3, Round: 14, Participate: true, TaskDone: true},
+		&RoundStart{},
+		&Update{ClientID: 2, Participating: true, Weight: 30,
+			ComputeSeconds: 0.125, UpBytes: 1 << 40, DownBytes: 12345,
+			Params: []float32{0, 1.5, -2.25, float32(math.Inf(1)), math.SmallestNonzeroFloat32}},
+		&Update{ClientID: 1}, // dropped-out acknowledgement: no params
+		&GlobalModel{Params: []float32{3.14, -0}},
+		&GlobalModel{},
+		&RoundEnd{ClientID: 5, EvalAccs: []float64{0.25, 1, 0.6180339887498949}},
+		&RoundEnd{ClientID: 0, Dead: true},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %T: got %+v, want %+v", m, got, m)
+		}
+	}
+}
+
+func TestCodecFloatBitsPreserved(t *testing.T) {
+	// IEEE-754 bit patterns — including NaN payloads — must survive the
+	// wire untouched; that is what makes wire runs bit-identical.
+	nan32 := math.Float32frombits(0x7FC00123)
+	u := roundTrip(t, &Update{Params: []float32{nan32}, Participating: true,
+		Weight: math.Float64frombits(0x7FF8000000000042)}).(*Update)
+	if math.Float32bits(u.Params[0]) != 0x7FC00123 {
+		t.Errorf("float32 bits %#x", math.Float32bits(u.Params[0]))
+	}
+	if math.Float64bits(u.Weight) != 0x7FF8000000000042 {
+		t.Errorf("float64 bits %#x", math.Float64bits(u.Weight))
+	}
+}
+
+func TestCodecStreamOfFrames(t *testing.T) {
+	var buf bytes.Buffer
+	sent := []Msg{
+		&RoundStart{TaskIdx: 1, Participate: true},
+		&Update{ClientID: 0, Participating: true, Weight: 2, Params: []float32{1, 2}},
+		&GlobalModel{Params: []float32{1.5, 1.5}},
+		&RoundEnd{ClientID: 0, EvalAccs: []float64{0.5, 0.25}},
+	}
+	for _, m := range sent {
+		if err := Encode(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range sent {
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := Decode(&buf); err != io.EOF {
+		t.Fatalf("exhausted stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown kind":       {99, 0, 0, 0, 0},
+		"truncated header":   {byte(KindUpdate), 1, 0},
+		"truncated payload":  {byte(KindUpdate), 10, 0, 0, 0, 1, 2},
+		"oversized frame":    {byte(KindGlobalModel), 0xFF, 0xFF, 0xFF, 0xFF},
+		"short round start":  {byte(KindRoundStart), 2, 0, 0, 0, 1, 2},
+		"f32 count too big":  append([]byte{byte(KindGlobalModel), 8, 0, 0, 0}, bytes.Repeat([]byte{0xFF}, 8)...),
+		"trailing bytes":     {byte(KindRoundStart), 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0},
+		"empty hello":        {byte(KindHello), 0, 0, 0, 0},
+		"round end no count": {byte(KindRoundEnd), 5, 0, 0, 0, 1, 0, 0, 0, 0},
+	}
+	for name, raw := range cases {
+		if _, err := Decode(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	// A clean EOF at a frame boundary is not an error condition.
+	if _, err := Decode(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes through the decoder: it must never panic
+// or over-allocate, and anything it accepts must re-encode to a frame that
+// decodes back to the same message.
+func FuzzDecode(f *testing.F) {
+	seeds := []Msg{
+		&helloMsg{clientID: 3, fingerprint: 1},
+		&RoundStart{TaskIdx: 2, Round: 1, Participate: true, TaskDone: true},
+		&Update{ClientID: 1, Participating: true, Weight: 10, ComputeSeconds: 1.5,
+			UpBytes: 100, DownBytes: 200, Params: []float32{1, 2, 3}},
+		&GlobalModel{Params: []float32{-1, 0.5}},
+		&RoundEnd{ClientID: 2, EvalAccs: []float64{0.1, 0.9}},
+	}
+	for _, m := range seeds {
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{byte(KindUpdate), 0xFF, 0xFF, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			t.Fatalf("re-encode %T: %v", m, err)
+		}
+		m2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		b1 := appendPayload(nil, m)
+		b2 := appendPayload(nil, m2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("decode/encode not idempotent: %x vs %x", b1, b2)
+		}
+	})
+}

@@ -1,13 +1,30 @@
-// Package fed is the federated continual-learning simulation engine. It
-// drives the protocol of §III-A: each client owns a private task sequence;
-// every task is trained for r aggregation rounds of v local iterations; the
-// server aggregates with FedAvg and broadcasts the global model. The engine
-// accounts communication volume (bytes), simulated wall-clock time through
-// the device model, and per-task accuracy matrices, which is everything the
-// paper's figures plot.
+// Package fed implements the federated continual-learning protocol of
+// §III-A as three explicit roles joined by a message transport:
+//
+//   - Server (server.go): the round scheduler. It opens rounds, collects
+//     parameter updates, delegates combination to a pluggable Aggregator
+//     (WeightedFedAvg is §III-A's rule), broadcasts the global model, and
+//     keeps the books — the simulated clock through the device model,
+//     communication volume, the per-task accuracy matrix, and OOM evictions.
+//   - Client (client.go): one endpoint. It wraps a Strategy (FedKNOW or a
+//     baseline), owns the local model and data, trains for v iterations per
+//     round, and reports device accounting with each upload.
+//   - Transport (transport.go, wire.go): the seam between them, carrying the
+//     typed round messages RoundStart → Update → GlobalModel → RoundEnd
+//     (message.go). LoopbackTransport runs everything in-process with
+//     zero-copy message passing; WireTransport speaks a length-prefixed
+//     binary codec (codec.go) over net.Conn so a run can span processes —
+//     both produce bitwise-identical results for the same seed.
+//
+// Engine is the thin constructor that wires clients to a server over
+// loopback transports, preserving the original monolithic engine's Config
+// and construction order (and therefore its exact RNG streams and results).
+// Progress streams through RoundObserver; runs cancel via context.Context.
 package fed
 
 import (
+	"context"
+	"math"
 	"runtime"
 	"sync"
 
@@ -31,7 +48,7 @@ type ClientCtx struct {
 }
 
 // Strategy is one training method (FedKNOW or a baseline) running inside a
-// client. The engine calls the hooks in protocol order; BaseStrategy
+// client. The client calls the hooks in protocol order; BaseStrategy
 // provides no-op defaults so methods implement only what they need.
 type Strategy interface {
 	// Name identifies the method in reports.
@@ -47,8 +64,8 @@ type Strategy interface {
 	// TaskEnd runs after a task's final round (knowledge extraction,
 	// memory updates, importance estimation).
 	TaskEnd(ct data.ClientTask)
-	// AggregateMask selects which parameters the server aggregates; nil
-	// means all (FedRep masks its head layers out).
+	// AggregateMask selects which parameters the client installs from the
+	// global model; nil means all (FedRep masks its head layers out).
 	AggregateMask() []bool
 	// ExtraUploadBytes / ExtraDownloadBytes report per-round communication
 	// beyond the dense model payload (FedWEIT's adaptive-weight pool).
@@ -110,20 +127,69 @@ type Config struct {
 	DropoutProb float64
 }
 
-// client is the engine's per-client state.
-type client struct {
-	ctx      *ClientCtx
-	strategy Strategy
-	seq      []data.ClientTask
-	dev      device.Device
-	alive    bool
-	offline  bool // this round only (dropout injection)
-	// batching state
-	order []int
-	cur   int
-	// aggregation scratch, reused every round
-	flatBuf   []float32
-	mergedBuf []float32
+// Fingerprint digests every result-affecting knob of the configuration (and
+// the wire-format version). A distributed run only reproduces a loopback run
+// if every process derives the same job from the same knobs, so the wire
+// handshake carries this digest and the server rejects clients that disagree
+// — a seed or hyperparameter mismatch fails loudly instead of silently
+// producing non-reproducible results. Parallelism is excluded: it never
+// changes results.
+//
+// Config cannot see job-level knobs that also shape the run — dataset,
+// architecture, client count, model width, scale. Callers that know them
+// must fold them in as extra strings (the CLI passes all of the above);
+// every process of one run must pass the same extras in the same order.
+func (cfg Config) Fingerprint(extra ...string) uint64 {
+	const (
+		offset64      = 14695981039346656037 // FNV-1a
+		prime64       = 1099511628211
+		formatVersion = 1
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xFF)) * prime64
+			v >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		mix(uint64(len(s)))
+		for _, b := range []byte(s) {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	mix(formatVersion)
+	mixStr(cfg.Method)
+	mix(uint64(cfg.Rounds))
+	mix(uint64(cfg.LocalIters))
+	mix(uint64(cfg.BatchSize))
+	mix(math.Float64bits(cfg.LR))
+	mix(math.Float64bits(cfg.LRDecay))
+	mix(uint64(cfg.NumClasses))
+	mix(math.Float64bits(cfg.Bandwidth))
+	mix(math.Float64bits(cfg.MemScale))
+	mix(cfg.Seed)
+	mix(math.Float64bits(cfg.DropoutProb))
+	for _, s := range extra {
+		mixStr(s)
+	}
+	return h
+}
+
+// ServerConfigFor derives the server-side half of a run configuration: the
+// round scheduler's knobs for a federation of numClients clients over
+// numTasks tasks. Wire-mode servers use this so both processes agree on the
+// protocol from one Config.
+func (cfg Config) ServerConfigFor(numClients, numTasks int) ServerConfig {
+	return ServerConfig{
+		Method:      cfg.Method,
+		NumClients:  numClients,
+		NumTasks:    numTasks,
+		Rounds:      cfg.Rounds,
+		Bandwidth:   cfg.Bandwidth,
+		DropoutProb: cfg.DropoutProb,
+		Seed:        cfg.Seed,
+	}
 }
 
 // Result aggregates a run's outputs.
@@ -145,21 +211,14 @@ type TaskPoint struct {
 	DownBytes      int64
 }
 
-// Engine runs the simulation.
+// Engine wires one Client per task sequence to a Server over loopback
+// transports — the in-process binding of the protocol, and a drop-in
+// replacement for the old monolithic engine: same Config, same construction
+// order, same RNG streams, bitwise-identical results.
 type Engine struct {
-	cfg     Config
-	clients []*client
-	cluster *device.Cluster
-	dropRNG *tensor.RNG
-
-	simSeconds  float64
-	commSeconds float64
-	upBytes     int64
-	downBytes   int64
-
-	// aggregation scratch, reused every round
-	preBuf    [][]float32
-	globalBuf []float32
+	server      *Server
+	clients     []*Client
+	clientLinks []Transport
 }
 
 // NewEngine builds clients: one model per client from the builder, the
@@ -167,309 +226,64 @@ type Engine struct {
 // the cluster is smaller than the client count).
 func NewEngine(cfg Config, cluster *device.Cluster, seqs [][]data.ClientTask,
 	build func(rng *tensor.RNG) *model.Model, factory Factory) *Engine {
-	e := &Engine{cfg: cfg, cluster: cluster, dropRNG: tensor.NewRNG(cfg.Seed ^ 0xD209)}
 	root := tensor.NewRNG(cfg.Seed)
 	// All clients start from the same initial weights (§V-B common training
 	// settings): build one reference model and copy its parameters.
 	ref := build(root.Fork(0xC0FFEE))
 	refFlat := nn.FlattenParams(ref.Params())
-	for i, seq := range seqs {
-		rng := root.Fork(uint64(i) + 1)
-		m := build(rng.Fork(7))
-		nn.SetFlatParams(m.Params(), refFlat)
-		ctx := &ClientCtx{
-			ID:         i,
-			NumClients: len(seqs),
-			Model:      m,
-			Opt:        opt.NewSGD(opt.Inv{Base: cfg.LR, Decay: cfg.LRDecay}, 0, 0),
-			RNG:        rng,
-			NumClasses: cfg.NumClasses,
-		}
-		e.clients = append(e.clients, &client{
-			ctx:      ctx,
-			strategy: factory(ctx),
-			seq:      seq,
-			dev:      cluster.Devices[i%cluster.Size()],
-			alive:    true,
-		})
-	}
-	return e
-}
-
-// Run executes the full task sequence and returns the result.
-func (e *Engine) Run() *Result {
-	numTasks := len(e.clients[0].seq)
-	res := &Result{
-		Method:    e.cfg.Method,
-		Matrix:    metrics.NewMatrix(numTasks),
-		DeadAfter: map[int]int{},
-	}
-	for taskIdx := 0; taskIdx < numTasks; taskIdx++ {
-		e.trainTask(taskIdx, res)
-		e.evaluate(taskIdx, res)
-		tp := TaskPoint{
-			TaskIdx:        taskIdx,
-			AvgAccuracy:    res.Matrix.AvgAccuracy(taskIdx),
-			ForgettingRate: res.Matrix.ForgettingRate(taskIdx),
-			SimHours:       e.simSeconds / 3600,
-			CommHours:      e.commSeconds / 3600,
-			UpBytes:        e.upBytes,
-			DownBytes:      e.downBytes,
-		}
-		res.PerTask = append(res.PerTask, tp)
-	}
-	return res
-}
-
-// trainTask runs r aggregation rounds for the task at position taskIdx of
-// every client's sequence.
-func (e *Engine) trainTask(taskIdx int, res *Result) {
-	for _, c := range e.clients {
-		if !c.alive {
-			continue
-		}
-		c.order = nil
-		c.cur = 0
-	}
-	for round := 0; round < e.cfg.Rounds; round++ {
-		// Failure injection: each client may drop out of this round.
-		anyOnline := false
-		for _, c := range e.clients {
-			c.offline = c.alive && e.cfg.DropoutProb > 0 && e.dropRNG.Float64() < e.cfg.DropoutProb
-			if c.alive && !c.offline {
-				anyOnline = true
-			}
-		}
-		if !anyOnline {
-			// Keep the protocol alive: at least one participant per round.
-			for _, c := range e.clients {
-				if c.alive {
-					c.offline = false
-					break
-				}
-			}
-		}
-		// Local training, clients in parallel.
-		e.forEachAlive(func(c *client) {
-			ct := c.seq[taskIdx]
-			for it := 0; it < e.cfg.LocalIters; it++ {
-				x, labels := c.nextBatch(ct, e.cfg.BatchSize)
-				c.strategy.TrainStep(x, labels, ct.Classes)
-			}
-		})
-		// Time accounting: synchronous rounds bound by the slowest client.
-		var worstCompute, worstComm float64
-		for _, c := range e.clients {
-			if !c.alive || c.offline {
-				continue
-			}
-			work := c.ctx.Model.FLOPsPerSample() * 3 * float64(e.cfg.BatchSize*e.cfg.LocalIters)
-			work += c.strategy.OverheadFLOPs() * float64(e.cfg.LocalIters)
-			if t := c.dev.TrainTime(work); t > worstCompute {
-				worstCompute = t
-			}
-			extraUp := c.strategy.ExtraUploadBytes()
-			extraDown := c.strategy.ExtraDownloadBytes()
-			payload := int64(c.ctx.Model.ParamBytes()*2 + extraUp + extraDown)
-			if t := device.CommTime(payload, e.cfg.Bandwidth); t > worstComm {
-				worstComm = t
-			}
-			e.upBytes += int64(c.ctx.Model.ParamBytes() + extraUp)
-			e.downBytes += int64(c.ctx.Model.ParamBytes() + extraDown)
-		}
-		e.simSeconds += worstCompute + worstComm
-		e.commSeconds += worstComm
-
-		// Aggregation (FedAvg weighted by client training-sample counts).
-		e.aggregate(taskIdx)
-	}
-	for _, c := range e.clients {
-		c.offline = false
-	}
-	// Task end: extraction, memory updates, then the OOM check the paper's
-	// heterogeneity study exercises (FedWEIT exhausts the 2 GB Pi's memory
-	// after ~7 tasks).
-	for _, c := range e.clients {
-		if !c.alive {
-			continue
-		}
-		c.strategy.TaskEnd(c.seq[taskIdx])
-		if e.cfg.MemScale > 0 {
-			used := float64(c.ctx.Model.ParamBytes()*4+c.strategy.MemoryBytes()) * e.cfg.MemScale
-			if used > float64(c.dev.MemBytes) {
-				c.alive = false
-				res.DeadAfter[c.ctx.ID] = taskIdx
-			}
-		}
-	}
-}
-
-// aggregate performs FedAvg over alive clients and installs the global
-// model, then invokes AfterAggregate with each client's pre-aggregation
-// parameters. Flattened-parameter vectors live in engine/client scratch
-// buffers that are rewritten every round; strategies that keep a pre-
-// aggregation vector across rounds must copy it.
-func (e *Engine) aggregate(taskIdx int) {
-	var total float64
-	if e.preBuf == nil {
-		e.preBuf = make([][]float32, len(e.clients))
-	}
-	pre := e.preBuf
-	var global []float32
-	for i, c := range e.clients {
-		if !c.alive || c.offline {
-			continue
-		}
-		c.flatBuf = nn.FlattenParamsInto(c.flatBuf, c.ctx.Model.Params())
-		flat := c.flatBuf
-		pre[i] = flat
-		w := float64(len(c.seq[taskIdx].Train))
-		if w == 0 {
-			w = 1
-		}
-		total += w
-		if global == nil {
-			if cap(e.globalBuf) < len(flat) {
-				e.globalBuf = make([]float32, len(flat))
-			}
-			global = e.globalBuf[:len(flat)]
-			clear(global)
-		}
-		tensor.AxpySlice(global, float32(w), flat)
-	}
-	if global == nil {
-		return
-	}
-	inv := float32(1 / total)
-	for i := range global {
-		global[i] *= inv
-	}
-	e.forEachAlive(func(c *client) {
-		mask := c.strategy.AggregateMask()
-		if mask == nil {
-			nn.SetFlatParams(c.ctx.Model.Params(), global)
-		} else {
-			if cap(c.mergedBuf) < len(global) {
-				c.mergedBuf = make([]float32, len(global))
-			}
-			merged := c.mergedBuf[:len(global)]
-			copy(merged, pre[c.ctx.ID])
-			for j, use := range mask {
-				if use {
-					merged[j] = global[j]
-				}
-			}
-			nn.SetFlatParams(c.ctx.Model.Params(), merged)
-		}
-		c.strategy.AfterAggregate(pre[c.ctx.ID], c.seq[taskIdx])
-	})
-}
-
-// evaluate fills row taskIdx of the accuracy matrix: for every learned task
-// position, the mean over alive clients of task-aware top-1 accuracy on the
-// client's own test split.
-func (e *Engine) evaluate(taskIdx int, res *Result) {
-	type row struct{ accs []float64 }
-	rows := make([]row, len(e.clients))
-	e.forEachAlive(func(c *client) {
-		accs := make([]float64, taskIdx+1)
-		for p := 0; p <= taskIdx; p++ {
-			accs[p] = EvalClientTask(c.ctx.Model, c.seq[p])
-		}
-		rows[c.ctx.ID] = row{accs: accs}
-	})
-	for p := 0; p <= taskIdx; p++ {
-		var s float64
-		n := 0
-		for _, r := range rows {
-			if r.accs != nil {
-				s += r.accs[p]
-				n++
-			}
-		}
-		if n > 0 {
-			res.Matrix.Set(taskIdx, p, s/float64(n))
-		}
-	}
-}
-
-// EvalClientTask computes task-aware top-1 accuracy of the model on a
-// client task's test samples (argmax restricted to the task's classes).
-func EvalClientTask(m *model.Model, ct data.ClientTask) float64 {
-	if len(ct.Test) == 0 {
-		return 0
-	}
-	const evalBatch = 32
-	correct := 0
-	for start := 0; start < len(ct.Test); start += evalBatch {
-		end := start + evalBatch
-		if end > len(ct.Test) {
-			end = len(ct.Test)
-		}
-		idx := make([]int, end-start)
-		for i := range idx {
-			idx[i] = start + i
-		}
-		x, labels := data.Batch(ct.Test, idx, m.InC, m.InH, m.InW)
-		logits := m.Forward(x, false)
-		for i := range idx {
-			if logits.ArgMaxRow(i, ct.Classes) == labels[i] {
-				correct++
-			}
-		}
-	}
-	return float64(correct) / float64(len(ct.Test))
-}
-
-// nextBatch draws the next batch of a client task, reshuffling each epoch.
-func (c *client) nextBatch(ct data.ClientTask, batchSize int) (*tensor.Tensor, []int) {
-	n := len(ct.Train)
-	if batchSize > n {
-		batchSize = n
-	}
-	idx := make([]int, 0, batchSize)
-	for len(idx) < batchSize {
-		if c.cur >= len(c.order) {
-			c.order = c.ctx.RNG.Perm(n)
-			c.cur = 0
-		}
-		idx = append(idx, c.order[c.cur])
-		c.cur++
-	}
-	m := c.ctx.Model
-	return data.Batch(ct.Train, idx, m.InC, m.InH, m.InW)
-}
-
-// forEachAlive runs fn over alive, online clients with bounded parallelism.
-func (e *Engine) forEachAlive(fn func(c *client)) {
-	par := e.cfg.Parallelism
+	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for _, c := range e.clients {
-		if !c.alive || c.offline {
-			continue
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(c *client) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			fn(c)
-		}(c)
+	e := &Engine{
+		clients:     make([]*Client, len(seqs)),
+		clientLinks: make([]Transport, len(seqs)),
 	}
+	serverLinks := make([]Transport, len(seqs))
+	for i, seq := range seqs {
+		rng := root.Fork(uint64(i) + 1)
+		c := newClient(cfg, i, len(seqs), cluster.Devices[i%cluster.Size()], seq,
+			build, factory, rng, refFlat)
+		c.sem = sem
+		serverLinks[i], e.clientLinks[i] = Loopback()
+		e.clients[i] = c
+	}
+	e.server = NewServer(cfg.ServerConfigFor(len(seqs), len(seqs[0])), &WeightedFedAvg{}, serverLinks)
+	return e
+}
+
+// SetObserver installs the streaming progress hook; call before Run.
+func (e *Engine) SetObserver(o RoundObserver) { e.server.SetObserver(o) }
+
+// Run executes the full task sequence and returns the result. An Engine is
+// single-use. A protocol failure (which cannot happen with well-formed
+// inputs over loopback) panics, matching the old monolithic engine's
+// fail-loudly behaviour; use RunContext to handle errors or cancel.
+func (e *Engine) Run() *Result {
+	res, err := e.RunContext(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is Run with cancellation: it launches the client endpoints,
+// drives the server, and waits for every endpoint to drain. Cancelling ctx
+// aborts the round loop; the partial Result is returned with ctx's error.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	var wg sync.WaitGroup
+	for i, c := range e.clients {
+		wg.Add(1)
+		go func(c *Client, t Transport) {
+			defer wg.Done()
+			c.Run(ctx, t)
+		}(c, e.clientLinks[i])
+	}
+	res, err := e.server.Run(ctx)
 	wg.Wait()
+	return res, err
 }
 
 // AliveClients reports how many clients have not been evicted.
-func (e *Engine) AliveClients() int {
-	n := 0
-	for _, c := range e.clients {
-		if c.alive {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) AliveClients() int { return e.server.AliveClients() }

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/data"
@@ -334,6 +335,98 @@ func TestEngineDropoutAlwaysHasParticipant(t *testing.T) {
 	// 3 iters minimum.
 	if total < 18 {
 		t.Fatalf("steps %d below the at-least-one-participant floor", total)
+	}
+}
+
+// TestEngineAllClientsOfflineFallback pins the fallback path of the round
+// loop: with DropoutProb = 1 every draw marks every client offline, so the
+// server must force the first alive client back online each round — the
+// protocol never runs a round with zero participants.
+func TestEngineAllClientsOfflineFallback(t *testing.T) {
+	cfg, cluster, seqs, build := tinySetup(13)
+	cfg.DropoutProb = 1
+	var made []*passthrough
+	e := NewEngine(cfg, cluster, seqs, build, func(ctx *ClientCtx) Strategy {
+		p := &passthrough{ctx: ctx}
+		made = append(made, p)
+		return p
+	})
+	res := e.Run()
+	// Exactly client 0 (the first alive client) participates in every round.
+	wantSteps := 3 * 2 * 3 // tasks × rounds × iters
+	if made[0].steps != wantSteps {
+		t.Fatalf("fallback client steps = %d, want %d", made[0].steps, wantSteps)
+	}
+	for i, p := range made[1:] {
+		if p.steps != 0 {
+			t.Fatalf("client %d trained %d steps while permanently offline", i+1, p.steps)
+		}
+	}
+	// Accounting sees a single-participant round: one model upload per round.
+	m := model.MustBuild("SixCNN", 12, 3, 12, 12, 1, tensor.NewRNG(1))
+	if want := int64(3 * 2 * m.ParamBytes()); res.PerTask[2].UpBytes != want {
+		t.Fatalf("UpBytes = %d, want %d", res.PerTask[2].UpBytes, want)
+	}
+	if len(res.PerTask) != 3 {
+		t.Fatalf("%d task points", len(res.PerTask))
+	}
+}
+
+// TestEngineObserverStreams checks the streaming lifecycle: the observer
+// sees every aggregation round and every task point, in order, and the task
+// points match what Run finally returns.
+func TestEngineObserverStreams(t *testing.T) {
+	cfg, cluster, seqs, build := tinySetup(14)
+	e := NewEngine(cfg, cluster, seqs, build, func(ctx *ClientCtx) Strategy {
+		return &passthrough{ctx: ctx}
+	})
+	var rounds []RoundStats
+	var points []TaskPoint
+	e.SetObserver(ObserverFuncs{
+		Round: func(s RoundStats) { rounds = append(rounds, s) },
+		Task:  func(tp TaskPoint) { points = append(points, tp) },
+	})
+	res := e.Run()
+	if len(rounds) != 3*2 { // tasks × rounds
+		t.Fatalf("observer saw %d rounds, want 6", len(rounds))
+	}
+	for i, s := range rounds {
+		if s.TaskIdx != i/2 || s.Round != i%2 {
+			t.Fatalf("round %d out of order: %+v", i, s)
+		}
+		if s.Participants != 3 {
+			t.Fatalf("round %d: %d participants, want 3", i, s.Participants)
+		}
+		if s.ComputeSeconds <= 0 || s.CommSeconds <= 0 || s.UpBytes <= 0 {
+			t.Fatalf("round %d missing accounting: %+v", i, s)
+		}
+	}
+	if len(points) != len(res.PerTask) {
+		t.Fatalf("observer saw %d task points, result has %d", len(points), len(res.PerTask))
+	}
+	for i := range points {
+		if points[i] != res.PerTask[i] {
+			t.Fatalf("streamed point %d %+v != result %+v", i, points[i], res.PerTask[i])
+		}
+	}
+}
+
+// TestEngineContextCancel checks the cancellable lifecycle: cancelling after
+// the first task stops the run, returns the partial result, and tears down
+// every client goroutine (RunContext returning proves no endpoint is stuck).
+func TestEngineContextCancel(t *testing.T) {
+	cfg, cluster, seqs, build := tinySetup(15)
+	e := NewEngine(cfg, cluster, seqs, build, func(ctx *ClientCtx) Strategy {
+		return &passthrough{ctx: ctx}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetObserver(ObserverFuncs{Task: func(TaskPoint) { cancel() }})
+	res, err := e.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.PerTask) != 1 {
+		t.Fatalf("partial result has %d task points, want 1", len(res.PerTask))
 	}
 }
 

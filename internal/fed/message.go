@@ -1,0 +1,90 @@
+package fed
+
+// Kind discriminates the round-lifecycle message types on a Transport.
+type Kind byte
+
+// Message kinds. KindHello is a transport-level frame used only during wire
+// connection setup (client identification); the other four are the §III-A
+// round lifecycle.
+const (
+	KindHello       Kind = 0
+	KindRoundStart  Kind = 1
+	KindUpdate      Kind = 2
+	KindGlobalModel Kind = 3
+	KindRoundEnd    Kind = 4
+)
+
+// Msg is one typed protocol message. The concrete types are RoundStart,
+// Update, GlobalModel and RoundEnd.
+type Msg interface {
+	Kind() Kind
+}
+
+// RoundStart (server → client) opens one aggregation round of one task.
+type RoundStart struct {
+	TaskIdx int
+	Round   int
+	// Participate is false when the server's failure injection dropped the
+	// client for this round: it skips local training and aggregation but
+	// still acknowledges the round so the protocol stays in lockstep.
+	Participate bool
+	// TaskDone marks the task's final round: after it the client runs its
+	// TaskEnd hook, the memory check, evaluation, and replies RoundEnd.
+	TaskDone bool
+}
+
+// Kind identifies the message type.
+func (*RoundStart) Kind() Kind { return KindRoundStart }
+
+// Update (client → server) carries one round of local training: the flat
+// parameter vector, the aggregation weight, and the device accounting the
+// server folds into the synchronous-round clock. Over LoopbackTransport
+// Params aliases the client's scratch buffer (zero copy); the client must
+// not mutate it until the server's GlobalModel arrives.
+type Update struct {
+	ClientID int
+	// Participating is false for a dropped-out client's empty acknowledgement;
+	// such updates carry no parameters and are excluded from aggregation.
+	Participating bool
+	// Weight is the FedAvg aggregation weight (the client's training-sample
+	// count for the task; zero is treated as one by WeightedFedAvg).
+	Weight float64
+	Params []float32
+	// ComputeSeconds is the simulated device time for this round's local
+	// iterations (work / device throughput).
+	ComputeSeconds float64
+	// UpBytes / DownBytes are the round's communication payloads in each
+	// direction: dense model bytes plus the strategy's extra traffic.
+	UpBytes   int64
+	DownBytes int64
+}
+
+// Kind identifies the message type.
+func (*Update) Kind() Kind { return KindUpdate }
+
+// GlobalModel (server → client) broadcasts the aggregated flat parameter
+// vector to the round's participants. Over LoopbackTransport Params aliases
+// the aggregator's scratch, which is only rewritten after every participant
+// has acknowledged the round.
+type GlobalModel struct {
+	Params []float32
+}
+
+// Kind identifies the message type.
+func (*GlobalModel) Kind() Kind { return KindGlobalModel }
+
+// RoundEnd (client → server) closes a task for one client: task-aware
+// accuracy on every learned task, or a death report when the device ran out
+// of memory (the heterogeneity study's eviction path).
+type RoundEnd struct {
+	ClientID int
+	// Dead reports that the client OOMed at this task; it sends nothing
+	// further and EvalAccs is nil.
+	Dead bool
+	// EvalAccs[p] is the client's accuracy on task p, for p ≤ the task just
+	// finished.
+	EvalAccs []float64
+}
+
+// Kind identifies the message type.
+func (*RoundEnd) Kind() Kind { return KindRoundEnd }

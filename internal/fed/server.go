@@ -1,0 +1,398 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// Aggregator combines one round's participating client updates into the
+// global flat parameter vector. Implementations receive updates ordered by
+// client ID (the order that makes floating-point aggregation reproducible)
+// and may return a slice aliasing internal scratch: the server guarantees
+// the result is consumed before the next Aggregate call.
+type Aggregator interface {
+	// Name identifies the aggregation rule in reports.
+	Name() string
+	// Aggregate reduces the updates to a global vector, or nil when the
+	// round had no participants.
+	Aggregate(updates []*Update) []float32
+}
+
+// WeightedFedAvg is §III-A's aggregation rule: the sample-count-weighted
+// average of the participants' parameter vectors. A zero weight counts as
+// one so an empty-shard client still participates. The accumulation order
+// (ascending client ID, Axpy then one scale) is part of the contract — it
+// is what keeps results bitwise reproducible across transports and
+// parallelism settings.
+type WeightedFedAvg struct {
+	buf []float32 // global scratch, reused every round
+}
+
+// Name identifies the aggregation rule.
+func (a *WeightedFedAvg) Name() string { return "WeightedFedAvg" }
+
+// Aggregate computes the weighted average into reused scratch.
+func (a *WeightedFedAvg) Aggregate(updates []*Update) []float32 {
+	var total float64
+	var global []float32
+	for _, u := range updates {
+		w := u.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+		if global == nil {
+			if cap(a.buf) < len(u.Params) {
+				a.buf = make([]float32, len(u.Params))
+			}
+			global = a.buf[:len(u.Params)]
+			clear(global)
+		}
+		tensor.AxpySlice(global, float32(w), u.Params)
+	}
+	if global == nil {
+		return nil
+	}
+	inv := float32(1 / total)
+	for i := range global {
+		global[i] *= inv
+	}
+	return global
+}
+
+// RoundStats is the server-side accounting of one finished aggregation
+// round, streamed to the RoundObserver.
+type RoundStats struct {
+	TaskIdx      int
+	Round        int
+	Participants int
+	// ComputeSeconds / CommSeconds are this round's simulated times (the
+	// slowest participant bounds a synchronous round).
+	ComputeSeconds float64
+	CommSeconds    float64
+	// UpBytes / DownBytes are this round's traffic across participants.
+	UpBytes   int64
+	DownBytes int64
+}
+
+// RoundObserver receives the run's progress as it happens, so CLIs,
+// experiments and dashboards can stream results instead of waiting for the
+// final Result. Callbacks run on the server goroutine; implementations
+// should return quickly.
+type RoundObserver interface {
+	// RoundDone fires after every aggregation round.
+	RoundDone(RoundStats)
+	// TaskDone fires after every task with the same TaskPoint that is
+	// appended to Result.PerTask.
+	TaskDone(TaskPoint)
+}
+
+// ObserverFuncs adapts plain functions to RoundObserver; nil fields are
+// no-ops.
+type ObserverFuncs struct {
+	Round func(RoundStats)
+	Task  func(TaskPoint)
+}
+
+// RoundDone forwards to Round when set.
+func (o ObserverFuncs) RoundDone(s RoundStats) {
+	if o.Round != nil {
+		o.Round(s)
+	}
+}
+
+// TaskDone forwards to Task when set.
+func (o ObserverFuncs) TaskDone(tp TaskPoint) {
+	if o.Task != nil {
+		o.Task(tp)
+	}
+}
+
+// ServerConfig drives the round scheduler. Unlike Config it carries nothing
+// about local training — the server never sees data, models or strategies,
+// only parameter vectors and accounting, which is what lets one server drive
+// loopback goroutines and remote TCP clients identically.
+type ServerConfig struct {
+	Method      string
+	NumClients  int
+	NumTasks    int
+	Rounds      int     // aggregation rounds per task (r)
+	Bandwidth   float64 // bytes/second per client link
+	DropoutProb float64 // per-round, per-client offline probability
+	Seed        uint64
+}
+
+// Server is the protocol's round scheduler: it opens rounds, collects
+// updates, delegates to the Aggregator, broadcasts the global model, and
+// keeps the books (simulated clock, traffic, accuracy matrix, evictions).
+type Server struct {
+	cfg     ServerConfig
+	agg     Aggregator
+	links   []Transport // index = client ID
+	alive   []bool
+	offline []bool
+	dropRNG *tensor.RNG
+	obs     RoundObserver
+
+	simSeconds  float64
+	commSeconds float64
+	upBytes     int64
+	downBytes   int64
+
+	updates []*Update   // per-round scratch
+	rows    [][]float64 // per-task eval scratch
+}
+
+// NewServer builds a server over one transport per client. The aggregator
+// defaults to WeightedFedAvg when nil.
+func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
+	if cfg.NumClients == 0 {
+		cfg.NumClients = len(links)
+	}
+	if len(links) != cfg.NumClients {
+		panic(fmt.Sprintf("fed: %d transports for %d clients", len(links), cfg.NumClients))
+	}
+	if agg == nil {
+		agg = &WeightedFedAvg{}
+	}
+	s := &Server{
+		cfg:     cfg,
+		agg:     agg,
+		links:   links,
+		alive:   make([]bool, cfg.NumClients),
+		offline: make([]bool, cfg.NumClients),
+		dropRNG: tensor.NewRNG(cfg.Seed ^ 0xD209),
+		rows:    make([][]float64, cfg.NumClients),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	return s
+}
+
+// SetObserver installs the streaming hook; call before Run.
+func (s *Server) SetObserver(o RoundObserver) { s.obs = o }
+
+// AliveClients reports how many clients have not been evicted.
+func (s *Server) AliveClients() int {
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the full task sequence and returns the result. Cancelling ctx
+// aborts between protocol steps: the partial Result gathered so far is
+// returned together with the context's error, and all transports are closed
+// so client loops terminate. Run closes the transports on every path and
+// must only be called once.
+func (s *Server) Run(ctx context.Context) (*Result, error) {
+	defer s.closeAll()
+	res := &Result{
+		Method:    s.cfg.Method,
+		Matrix:    metrics.NewMatrix(s.cfg.NumTasks),
+		DeadAfter: map[int]int{},
+	}
+	for taskIdx := 0; taskIdx < s.cfg.NumTasks; taskIdx++ {
+		if err := s.runTask(ctx, taskIdx, res); err != nil {
+			return res, err
+		}
+		tp := TaskPoint{
+			TaskIdx:        taskIdx,
+			AvgAccuracy:    res.Matrix.AvgAccuracy(taskIdx),
+			ForgettingRate: res.Matrix.ForgettingRate(taskIdx),
+			SimHours:       s.simSeconds / 3600,
+			CommHours:      s.commSeconds / 3600,
+			UpBytes:        s.upBytes,
+			DownBytes:      s.downBytes,
+		}
+		res.PerTask = append(res.PerTask, tp)
+		if s.obs != nil {
+			s.obs.TaskDone(tp)
+		}
+	}
+	return res, nil
+}
+
+// runTask schedules the r aggregation rounds of one task.
+func (s *Server) runTask(ctx context.Context, taskIdx int, res *Result) error {
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		taskDone := round == s.cfg.Rounds-1
+		// Failure injection: each client may drop out of this round. The
+		// draw order (ascending client ID, no draw for dead clients) is part
+		// of the reproducibility contract.
+		anyOnline := false
+		for i := range s.links {
+			s.offline[i] = s.alive[i] && s.cfg.DropoutProb > 0 && s.dropRNG.Float64() < s.cfg.DropoutProb
+			if s.alive[i] && !s.offline[i] {
+				anyOnline = true
+			}
+		}
+		if !anyOnline {
+			// Keep the protocol alive: at least one participant per round.
+			for i := range s.links {
+				if s.alive[i] {
+					s.offline[i] = false
+					break
+				}
+			}
+		}
+		for i, t := range s.links {
+			if !s.alive[i] {
+				continue
+			}
+			rs := &RoundStart{TaskIdx: taskIdx, Round: round, Participate: !s.offline[i], TaskDone: taskDone}
+			if err := t.Send(rs); err != nil {
+				return s.runErr(ctx, fmt.Errorf("fed: round start to client %d: %w", i, err))
+			}
+		}
+		// Collect every alive client's update (dropped-out clients send an
+		// empty acknowledgement). Ascending client ID keeps aggregation
+		// order deterministic.
+		s.updates = s.updates[:0]
+		for i, t := range s.links {
+			if !s.alive[i] {
+				continue
+			}
+			msg, err := t.Recv()
+			if err != nil {
+				return s.runErr(ctx, fmt.Errorf("fed: update from client %d: %w", i, err))
+			}
+			u, ok := msg.(*Update)
+			if !ok {
+				return fmt.Errorf("fed: client %d sent %T, want *Update", i, msg)
+			}
+			// The ID routes the GlobalModel broadcast, so a wire client must
+			// not be able to impersonate (or index-out-of-range) another link.
+			if u.ClientID != i {
+				return fmt.Errorf("fed: link %d sent update claiming client %d", i, u.ClientID)
+			}
+			if u.Participating {
+				// Mismatched vector lengths (a client with a different
+				// model, slipping past the fingerprint check) must fail as
+				// a protocol error, not panic inside the aggregator.
+				if len(s.updates) > 0 && len(u.Params) != len(s.updates[0].Params) {
+					return fmt.Errorf("fed: client %d sent %d parameters, others sent %d",
+						i, len(u.Params), len(s.updates[0].Params))
+				}
+				s.updates = append(s.updates, u)
+			}
+		}
+		// Time accounting: synchronous rounds bound by the slowest client.
+		var worstCompute, worstComm float64
+		var roundUp, roundDown int64
+		for _, u := range s.updates {
+			if u.ComputeSeconds > worstCompute {
+				worstCompute = u.ComputeSeconds
+			}
+			if t := device.CommTime(u.UpBytes+u.DownBytes, s.cfg.Bandwidth); t > worstComm {
+				worstComm = t
+			}
+			roundUp += u.UpBytes
+			roundDown += u.DownBytes
+		}
+		s.simSeconds += worstCompute + worstComm
+		s.commSeconds += worstComm
+		s.upBytes += roundUp
+		s.downBytes += roundDown
+
+		// Aggregate and broadcast to the round's participants. The global
+		// slice may alias aggregator scratch; every participant acknowledges
+		// (next Update or RoundEnd) before the next Aggregate call rewrites
+		// it, so sharing is safe even over the zero-copy loopback.
+		if global := s.agg.Aggregate(s.updates); global != nil {
+			gm := &GlobalModel{Params: global}
+			for _, u := range s.updates {
+				if err := s.links[u.ClientID].Send(gm); err != nil {
+					return s.runErr(ctx, fmt.Errorf("fed: global model to client %d: %w", u.ClientID, err))
+				}
+			}
+		}
+		if s.obs != nil {
+			s.obs.RoundDone(RoundStats{
+				TaskIdx: taskIdx, Round: round, Participants: len(s.updates),
+				ComputeSeconds: worstCompute, CommSeconds: worstComm,
+				UpBytes: roundUp, DownBytes: roundDown,
+			})
+		}
+		if taskDone {
+			if err := s.collectRoundEnds(ctx, taskIdx, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runErr reports a transport failure, preferring the context's error: when
+// the run was cancelled, client endpoints close their transports and the
+// resulting EOFs are an effect of the cancel, not a protocol failure.
+func (s *Server) runErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
+
+// collectRoundEnds gathers every alive client's task report: eviction flags
+// first, then the accuracy-matrix row averaged over the survivors.
+func (s *Server) collectRoundEnds(ctx context.Context, taskIdx int, res *Result) error {
+	for i := range s.rows {
+		s.rows[i] = nil
+	}
+	for i, t := range s.links {
+		if !s.alive[i] {
+			continue
+		}
+		msg, err := t.Recv()
+		if err != nil {
+			return s.runErr(ctx, fmt.Errorf("fed: round end from client %d: %w", i, err))
+		}
+		re, ok := msg.(*RoundEnd)
+		if !ok {
+			return fmt.Errorf("fed: client %d sent %T, want *RoundEnd", i, msg)
+		}
+		if re.ClientID != i {
+			return fmt.Errorf("fed: link %d sent round end claiming client %d", i, re.ClientID)
+		}
+		if re.Dead {
+			s.alive[i] = false
+			res.DeadAfter[i] = taskIdx
+			continue
+		}
+		if len(re.EvalAccs) != taskIdx+1 {
+			return fmt.Errorf("fed: client %d reported %d accuracies after task %d", i, len(re.EvalAccs), taskIdx)
+		}
+		s.rows[i] = re.EvalAccs
+	}
+	for p := 0; p <= taskIdx; p++ {
+		var sum float64
+		n := 0
+		for _, accs := range s.rows {
+			if accs != nil {
+				sum += accs[p]
+				n++
+			}
+		}
+		if n > 0 {
+			res.Matrix.Set(taskIdx, p, sum/float64(n))
+		}
+	}
+	return nil
+}
+
+func (s *Server) closeAll() {
+	for _, t := range s.links {
+		t.Close()
+	}
+}

@@ -1,0 +1,99 @@
+package fed
+
+import (
+	"io"
+	"sync"
+)
+
+// Transport is one duplex message link between the server and a single
+// client. The server holds one Transport per client; the client holds the
+// peer end. Implementations must deliver messages in order. A Transport end
+// is used by one goroutine at a time (the protocol is lockstep), so
+// implementations need not support concurrent Send or concurrent Recv.
+//
+// Recv returns io.EOF after the peer closes its end and all in-flight
+// messages have been drained — that is the protocol's shutdown signal.
+type Transport interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+}
+
+// loopbackCap bounds in-flight messages per direction. The lockstep
+// protocol never has more than two outstanding messages on a link
+// (RoundStart followed by GlobalModel), so sends never block.
+const loopbackCap = 4
+
+// loopbackEnd is one side of an in-memory transport pair. Messages pass by
+// reference — parameter slices are shared, never copied — which is what
+// keeps the loopback engine's hot path allocation-free and bitwise
+// identical to the old monolithic engine.
+type loopbackEnd struct {
+	send chan Msg
+	recv chan Msg
+
+	closeOnce  sync.Once
+	closed     chan struct{} // this end closed
+	peerClosed chan struct{} // other end closed
+}
+
+// Loopback returns a connected in-memory transport pair: the server end and
+// the client end.
+func Loopback() (server, client Transport) {
+	s2c := make(chan Msg, loopbackCap)
+	c2s := make(chan Msg, loopbackCap)
+	sClosed := make(chan struct{})
+	cClosed := make(chan struct{})
+	server = &loopbackEnd{send: s2c, recv: c2s, closed: sClosed, peerClosed: cClosed}
+	client = &loopbackEnd{send: c2s, recv: s2c, closed: cClosed, peerClosed: sClosed}
+	return server, client
+}
+
+// Send delivers m to the peer, failing if either end is closed.
+func (l *loopbackEnd) Send(m Msg) error {
+	select {
+	case <-l.closed:
+		return io.ErrClosedPipe
+	case <-l.peerClosed:
+		return io.ErrClosedPipe
+	default:
+	}
+	select {
+	case l.send <- m:
+		return nil
+	case <-l.closed:
+		return io.ErrClosedPipe
+	case <-l.peerClosed:
+		return io.ErrClosedPipe
+	}
+}
+
+// Recv returns the next message. Buffered messages are drained before a
+// peer close surfaces as io.EOF.
+func (l *loopbackEnd) Recv() (Msg, error) {
+	select {
+	case m := <-l.recv:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-l.recv:
+		return m, nil
+	case <-l.closed:
+		return nil, io.ErrClosedPipe
+	case <-l.peerClosed:
+		select {
+		case m := <-l.recv:
+			return m, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+// Close shuts this end down; the peer's blocked and future Recvs return
+// io.EOF once its buffer drains.
+func (l *loopbackEnd) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return nil
+}

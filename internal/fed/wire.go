@@ -1,0 +1,122 @@
+package fed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// WireTransport runs the round lifecycle over a byte stream (normally a TCP
+// net.Conn) using the length-prefixed binary codec, so a federation can span
+// processes and machines. Floats cross the wire as raw IEEE-754 bits: a wire
+// run is bit-identical to a loopback run of the same seed.
+type WireTransport struct {
+	conn    io.ReadWriteCloser
+	bw      *bufio.Writer
+	br      *bufio.Reader
+	scratch []byte        // payload encode buffer, reused every Send
+	dec     decodeScratch // decode buffers, reused every Recv
+}
+
+// NewWire wraps a connected byte stream in a Transport.
+func NewWire(conn io.ReadWriteCloser) *WireTransport {
+	return &WireTransport{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+		br:   bufio.NewReaderSize(conn, 1<<16),
+	}
+}
+
+// Send encodes and flushes one frame.
+func (w *WireTransport) Send(m Msg) error {
+	buf, err := encodeFrame(w.bw, m, w.scratch)
+	w.scratch = buf
+	if err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// Recv decodes the next frame. A clean peer close surfaces as io.EOF, the
+// protocol's shutdown signal. The returned message's slices alias the
+// transport's reusable decode buffers and stay valid until the next Recv
+// with a slice-bearing message — the lockstep protocol consumes every
+// message before the link's next Recv, mirroring the loopback transport's
+// zero-copy aliasing contract.
+func (w *WireTransport) Recv() (Msg, error) {
+	return decodeWith(w.br, &w.dec)
+}
+
+// Close tears down the underlying stream.
+func (w *WireTransport) Close() error { return w.conn.Close() }
+
+// Serve accepts numClients connections on ln, reads each one's Hello
+// identification frame, and returns the server-side transports indexed by
+// client ID. It is the wire counterpart of building loopback pairs.
+// fingerprint is the server's Config.Fingerprint(): a client whose hello
+// carries a different digest derived its job from different knobs (seed,
+// hyperparameters, …) and is rejected rather than allowed to silently
+// break reproducibility; pass 0 to skip the check. On error every accepted
+// connection is closed, so blocked clients unblock instead of leaking.
+func Serve(ln net.Listener, numClients int, fingerprint uint64) (_ []Transport, err error) {
+	links := make([]Transport, numClients)
+	defer func() {
+		if err != nil {
+			for _, t := range links {
+				if t != nil {
+					t.Close()
+				}
+			}
+		}
+	}()
+	for k := 0; k < numClients; k++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		t := NewWire(conn)
+		msg, err := t.Recv()
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("fed: hello from connection %d: %w", k, err)
+		}
+		hello, ok := msg.(*helloMsg)
+		if !ok {
+			conn.Close()
+			return nil, fmt.Errorf("fed: connection %d sent %T before hello", k, msg)
+		}
+		if hello.clientID < 0 || hello.clientID >= numClients {
+			conn.Close()
+			return nil, fmt.Errorf("fed: hello client id %d out of range [0,%d)", hello.clientID, numClients)
+		}
+		if fingerprint != 0 && hello.fingerprint != fingerprint {
+			conn.Close()
+			return nil, fmt.Errorf("fed: client %d job fingerprint %#x does not match server %#x (different seed/flags?)",
+				hello.clientID, hello.fingerprint, fingerprint)
+		}
+		if links[hello.clientID] != nil {
+			conn.Close()
+			return nil, fmt.Errorf("fed: duplicate hello for client %d", hello.clientID)
+		}
+		links[hello.clientID] = t
+	}
+	return links, nil
+}
+
+// Dial connects to a federation server and identifies as client id,
+// presenting the job fingerprint (Config.Fingerprint(); 0 to opt out) for
+// the server's consistency check. The returned transport is ready for the
+// client's Run loop.
+func Dial(addr string, id int, fingerprint uint64) (Transport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := NewWire(conn)
+	if err := t.Send(&helloMsg{clientID: id, fingerprint: fingerprint}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return t, nil
+}
