@@ -5,10 +5,15 @@
 //	fedknow-bench -exp fig4a -scale ci
 //	fedknow-bench -exp table1 -scale full
 //	fedknow-bench -exp all
+//	fedknow-bench -exp sparse -bench-out BENCH_sparse.json -baseline bench/BENCH_sparse_baseline.json
 //
 // Experiments: fig4a–fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10,
-// hyper, all. Scale "ci" (default) runs the laptop-sized configuration;
-// "full" mirrors the paper's client/round counts and takes hours on CPU.
+// hyper, all — plus "sparse", which measures the sparse update pipeline
+// (bytes/round and encode/decode/aggregate cost, dense vs sparse vs
+// quantized) and emits BENCH_sparse.json; with -baseline it also prints a
+// benchstat-style comparison and fails on byte regressions. Scale "ci"
+// (default) runs the laptop-sized configuration; "full" mirrors the paper's
+// client/round counts and takes hours on CPU.
 package main
 
 import (
@@ -25,14 +30,24 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, all)")
+	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, sparse, all)")
 	scale := flag.String("scale", "ci", "ci or full")
+	benchOut := flag.String("bench-out", "BENCH_sparse.json", "output path for -exp sparse")
+	baseline := flag.String("baseline", "", "baseline BENCH_sparse.json to compare against (-exp sparse; exits non-zero on byte regressions)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent clients per federated engine (0 = GOMAXPROCS)")
 	kernelThreads := flag.Int("kernel-threads", 0, "extra tensor-kernel workers shared across clients (0 = GOMAXPROCS); training clients also run kernels inline; results are identical for every setting")
 	progress := flag.Bool("progress", false, "stream one line per finished task of every engine run (full-scale runs take hours; this shows they are alive)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
+
+	if *exp == "sparse" {
+		if err := runSparseBench(*benchOut, *baseline, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sc data.Scale
 	switch *scale {
@@ -92,4 +107,29 @@ func main() {
 		}
 		fmt.Printf("### %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSparseBench measures the sparse update pipeline, writes BENCH_sparse.json
+// and, given a baseline, prints the before/after comparison (failing on
+// regressions of the deterministic byte metrics).
+func runSparseBench(out, baseline string, seed uint64) error {
+	start := time.Now()
+	fmt.Printf("### running sparse pipeline bench\n")
+	rep := experiments.SparseBench(experiments.SparseBenchOptions{Seed: seed})
+	rep.Print(os.Stdout)
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baseline != "" {
+		base, err := experiments.ReadSparseBench(baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if err := rep.Compare(base, os.Stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("### sparse done in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

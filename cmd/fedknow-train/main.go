@@ -17,6 +17,11 @@
 //	fedknow-train -dataset CIFAR100 -clients 2 -listen :7070 &
 //	fedknow-train -dataset CIFAR100 -clients 2 -connect localhost:7070 -client-id 0 &
 //	fedknow-train -dataset CIFAR100 -clients 2 -connect localhost:7070 -client-id 1
+//
+// Wire runs ship parameters with the lossless sparse codec by default (bit-
+// identical to loopback). -compress fp16|int8 opts into lossy quantisation
+// (2×/4× fewer bytes; all processes must agree), and -wire-timeout bounds
+// each message so a hung peer errors instead of wedging the round.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 // a distributed run reproduce the in-process one.
 type job struct {
 	cfg     fed.Config
+	wire    fed.WireOptions
 	fam     data.Family
 	scale   data.Scale
 	arch    string
@@ -68,11 +74,18 @@ func main() {
 	listen := flag.String("listen", "", "run as a wire-transport server on this TCP address (e.g. :7070) and wait for -clients connections")
 	connect := flag.String("connect", "", "run as one wire-transport client of the server at this address")
 	clientID := flag.Int("client-id", 0, "this client's ID when using -connect (0 ≤ id < clients)")
+	compress := flag.String("compress", "none", "wire value encoding: none (lossless, bit-exact), fp16 or int8 (lossy, 2x/4x fewer bytes); every process of one run must agree")
+	wireTimeout := flag.Duration("wire-timeout", 0, "per-message wire deadline (e.g. 2m): a hung peer errors instead of wedging the round; 0 disables")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 
 	if *listen != "" && *connect != "" {
 		fmt.Fprintln(os.Stderr, "-listen and -connect are mutually exclusive")
+		os.Exit(2)
+	}
+	quant, ok := fed.QuantByName(*compress)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -compress mode %q (none, fp16, int8)\n", *compress)
 		os.Exit(2)
 	}
 
@@ -120,6 +133,10 @@ func main() {
 			NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: *seed,
 			Parallelism: *parallel, DropoutProb: *dropout,
 		},
+		wire: fed.WireOptions{
+			Compression: fed.Compression{Quant: quant},
+			Timeout:     *wireTimeout,
+		},
 		fam: fam, scale: sc, arch: architecture, width: rt.Width,
 		clients: rt.Clients, tasks: len(tasks), ds: ds, seqs: seqs,
 		cluster: device.Jetson20(),
@@ -145,11 +162,13 @@ func main() {
 }
 
 // fingerprint digests the full job — Config plus the knobs Config cannot
-// see (dataset, architecture, client count, task count, width, scale) — so
-// the wire handshake rejects any flag mismatch between processes.
+// see (dataset, architecture, client count, task count, width, scale, and
+// the lossy -compress mode, which changes results) — so the wire handshake
+// rejects any flag mismatch between processes.
 func (j *job) fingerprint() uint64 {
 	return j.cfg.Fingerprint(j.fam.Name, j.arch, j.scale.String(),
-		fmt.Sprint(j.clients), fmt.Sprint(j.tasks), fmt.Sprint(j.width))
+		fmt.Sprint(j.clients), fmt.Sprint(j.tasks), fmt.Sprint(j.width),
+		j.wire.Compression.Quant.String())
 }
 
 // banner prints the run header shared by the loopback and server roles.
@@ -185,15 +204,26 @@ func runServe(j *job, addr string) error {
 		return err
 	}
 	fmt.Printf("serving on %s, waiting for %d clients...\n", ln.Addr(), j.clients)
-	links, err := fed.Serve(ln, j.clients, j.fingerprint())
+	links, err := fed.ServeWith(ln, j.clients, j.fingerprint(), j.wire)
 	ln.Close()
 	if err != nil {
 		return err
 	}
-	srv := fed.NewServer(j.cfg.ServerConfigFor(j.clients, j.tasks), &fed.WeightedFedAvg{}, links)
+	srv := fed.NewServer(j.cfg.ServerConfigFor(j.clients, j.tasks), nil, links)
 	srv.SetObserver(streamRows())
 	banner(j, "wire")
 	_, err = srv.Run(context.Background())
+	if err == nil {
+		var sent, recv int64
+		for _, l := range links {
+			if w, ok := l.(*fed.WireTransport); ok {
+				sent += w.BytesSent()
+				recv += w.BytesRecv()
+			}
+		}
+		fmt.Printf("measured wire traffic (%s): %.2f MB sent, %.2f MB received\n",
+			j.wire.Compression.Quant, float64(sent)/(1<<20), float64(recv)/(1<<20))
+	}
 	return err
 }
 
@@ -204,7 +234,7 @@ func runConnect(j *job, addr string, id int) error {
 	if id < 0 || id >= j.clients {
 		return fmt.Errorf("client id %d out of range [0,%d)", id, j.clients)
 	}
-	t, err := fed.Dial(addr, id, j.fingerprint())
+	t, err := fed.DialWith(addr, id, j.fingerprint(), j.wire)
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,10 @@
-// Distributed walkthrough: the same FedKNOW federation run twice — once
-// in-process over the loopback transport, once over real localhost TCP with
-// the wire transport (one goroutine per client endpoint, exactly the code a
-// separate client process would run) — and a field-by-field comparison
-// showing the two runs are identical for the same seed.
+// Distributed walkthrough: the same FedKNOW federation run three times —
+// in-process over the loopback transport, over real localhost TCP with the
+// wire transport (one goroutine per client endpoint, exactly the code a
+// separate client process would run), and over TCP again with opt-in fp16
+// compression — with a field-by-field comparison showing the lossless wire
+// run is bit-identical to loopback, and a bytes-on-the-wire comparison
+// showing what the compressed run saves.
 //
 // This is the protocol seam in action: the server never sees data, models or
 // strategies, only typed round messages (RoundStart → Update → GlobalModel →
@@ -66,47 +68,8 @@ func main() {
 	// rounds and aggregates; each client endpoint dials in, identifies
 	// itself, and follows the round lifecycle.
 	fmt.Println("\n=== wire run (server + clients over TCP) ===")
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fail(err)
-	}
-	addr := ln.Addr().String()
-	fmt.Printf("server listening on %s\n", addr)
-
-	var wg sync.WaitGroup
-	for id := 0; id < numClients; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			t, err := fed.Dial(addr, id, fingerprint)
-			if err != nil {
-				fail(fmt.Errorf("client %d dial: %w", id, err))
-			}
-			c := fed.NewWireClient(cfg, id, numClients, cluster.Devices[id%cluster.Size()],
-				seqs[id], build, factory)
-			if err := c.Run(context.Background(), t); err != nil {
-				fail(fmt.Errorf("client %d: %w", id, err))
-			}
-		}(id)
-	}
-	links, err := fed.Serve(ln, numClients, fingerprint)
-	ln.Close()
-	if err != nil {
-		fail(err)
-	}
-	srv := fed.NewServer(cfg.ServerConfigFor(numClients, numTasks), &fed.WeightedFedAvg{}, links)
-	srv.SetObserver(fed.ObserverFuncs{
-		Round: func(s fed.RoundStats) {
-			fmt.Printf("  round %d.%d: %d participants, %.1f KB up\n",
-				s.TaskIdx+1, s.Round+1, s.Participants, float64(s.UpBytes)/1024)
-		},
-		Task: printTask,
-	})
-	wire, err := srv.Run(context.Background())
-	if err != nil {
-		fail(err)
-	}
-	wg.Wait()
+	wire, lossless := runWire(cfg, numClients, numTasks, cluster, seqs, build, factory,
+		fingerprint, fed.WireOptions{}, true)
 
 	// 4. The acceptance bar: both transports produce the identical Result.
 	fmt.Println("\n=== comparison ===")
@@ -130,6 +93,82 @@ func main() {
 		fail(fmt.Errorf("%d mismatches between loopback and wire", mismatches))
 	}
 	fmt.Println("loopback and wire runs are identical, bit for bit")
+
+	// 5. Opt-in compression: the identical job with fp16 values on the wire.
+	// Lossy encodings change results (slightly), so they are negotiated in
+	// the handshake — both sides must opt in — and folded into the job
+	// fingerprint here. What they buy is bytes: the measured traffic below
+	// is about half of the lossless run's.
+	fmt.Println("\n=== wire run with -compress fp16 ===")
+	f16opts := fed.WireOptions{Compression: fed.Compression{Quant: fed.QuantF16}}
+	f16print := cfg.Fingerprint("CIFAR100", "SixCNN",
+		fmt.Sprint(numClients), fmt.Sprint(numTasks), f16opts.Compression.Quant.String())
+	wireF16, compressed := runWire(cfg, numClients, numTasks, cluster, seqs, build, factory,
+		f16print, f16opts, false)
+	for i := range wireF16.PerTask {
+		fmt.Printf("task %d: avg-acc %.4f (lossless %.4f)\n", i+1,
+			wireF16.PerTask[i].AvgAccuracy, wire.PerTask[i].AvgAccuracy)
+	}
+	fmt.Printf("measured wire traffic: lossless %.2f MB, fp16 %.2f MB (%.2fx smaller)\n",
+		float64(lossless)/(1<<20), float64(compressed)/(1<<20),
+		float64(lossless)/float64(compressed))
+}
+
+// runWire executes one TCP federation and returns the result plus the
+// measured bytes on the wire (both directions, summed over the server's
+// links).
+func runWire(cfg fed.Config, numClients, numTasks int, cluster *device.Cluster,
+	seqs [][]data.ClientTask, build func(*tensor.RNG) *model.Model, factory fed.Factory,
+	fingerprint uint64, opts fed.WireOptions, verbose bool) (*fed.Result, int64) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	addr := ln.Addr().String()
+	fmt.Printf("server listening on %s\n", addr)
+
+	var wg sync.WaitGroup
+	for id := 0; id < numClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			t, err := fed.DialWith(addr, id, fingerprint, opts)
+			if err != nil {
+				fail(fmt.Errorf("client %d dial: %w", id, err))
+			}
+			c := fed.NewWireClient(cfg, id, numClients, cluster.Devices[id%cluster.Size()],
+				seqs[id], build, factory)
+			if err := c.Run(context.Background(), t); err != nil {
+				fail(fmt.Errorf("client %d: %w", id, err))
+			}
+		}(id)
+	}
+	links, err := fed.ServeWith(ln, numClients, fingerprint, opts)
+	ln.Close()
+	if err != nil {
+		fail(err)
+	}
+	srv := fed.NewServer(cfg.ServerConfigFor(numClients, numTasks), nil, links)
+	obs := fed.ObserverFuncs{Task: printTask}
+	if verbose {
+		obs.Round = func(s fed.RoundStats) {
+			fmt.Printf("  round %d.%d: %d participants, %.1f KB up\n",
+				s.TaskIdx+1, s.Round+1, s.Participants, float64(s.UpBytes)/1024)
+		}
+	}
+	srv.SetObserver(obs)
+	res, err := srv.Run(context.Background())
+	if err != nil {
+		fail(err)
+	}
+	wg.Wait()
+	var total int64
+	for _, l := range links {
+		if w, ok := l.(*fed.WireTransport); ok {
+			total += w.BytesSent() + w.BytesRecv()
+		}
+	}
+	return res, total
 }
 
 func printTask(tp fed.TaskPoint) {

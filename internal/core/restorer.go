@@ -76,12 +76,7 @@ func (r *GradientRestorer) PrepareTargets(ks []*TaskKnowledge, x *tensor.Tensor)
 		r.targets = append(r.targets, nil)
 	}
 	for i, k := range ks {
-		if cap(r.dense) < k.Store.N {
-			r.dense = make([]float32, k.Store.N)
-		}
-		r.dense = r.dense[:k.Store.N]
-		clear(r.dense)
-		k.Store.PasteInto(r.dense)
+		r.dense = k.Store.DensifyInto(r.dense)
 		nn.SetFlatParams(params, r.dense)
 		logitsK := r.m.Forward(x, false)
 		r.targets[i] = maskedSoftmaxInto(r.targets[i], logitsK, k.Classes)

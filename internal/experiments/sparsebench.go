@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/model"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// SparseBenchOptions size the sparse-pipeline measurement.
+type SparseBenchOptions struct {
+	// N is the parameter-vector length; 0 uses the paper's 6-layer CNN at
+	// CIFAR-100 shape.
+	N int
+	// Clients per aggregation round (default 8).
+	Clients int
+	// Rho is the knowledge-mask density (default 0.10, the paper's ρ).
+	Rho float64
+	// Iters is the timing-loop length per measurement (default 40; tests
+	// use a small value).
+	Iters int
+	Seed  uint64
+}
+
+// CodecPoint is one codec configuration's measurements.
+type CodecPoint struct {
+	Name string `json:"name"`
+	// BytesPerUpdate is one client upload's frame size.
+	BytesPerUpdate int64 `json:"bytes_per_update"`
+	// BytesPerRound is a full aggregation round: Clients uploads plus
+	// Clients broadcasts of the round's aggregate.
+	BytesPerRound  int64   `json:"bytes_per_round"`
+	EncodeNsOp     float64 `json:"encode_ns_op"`
+	DecodeNsOp     float64 `json:"decode_ns_op"`
+	EncodeAllocsOp float64 `json:"encode_allocs_op"`
+	DecodeAllocsOp float64 `json:"decode_allocs_op"`
+}
+
+// AggregatePoint is one aggregator configuration's measurements.
+type AggregatePoint struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// SparseBenchReport is the BENCH_sparse.json payload: the sparse update
+// pipeline's bytes-per-round and hot-path costs, dense vs sparse vs
+// quantized.
+type SparseBenchReport struct {
+	N          int              `json:"n"`
+	Clients    int              `json:"clients"`
+	Rho        float64          `json:"rho"`
+	Codecs     []CodecPoint     `json:"codecs"`
+	Aggregates []AggregatePoint `json:"aggregates"`
+}
+
+// timeOp runs f iters times after one warm-up call and returns ns/op.
+func timeOp(iters int, f func()) float64 {
+	f()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// SparseBench measures the sparse update pipeline end to end: frame bytes
+// and encode/decode cost per codec configuration, and aggregation cost per
+// aggregator. The sparse update is the top-ρ magnitude selection of the
+// dense vector — exactly the mask the knowledge extractor computes.
+func SparseBench(opt SparseBenchOptions) *SparseBenchReport {
+	if opt.N == 0 {
+		rng := tensor.NewRNG(1)
+		opt.N = model.MustBuild("SixCNN", 100, 3, 32, 32, 1, rng).NumParams()
+	}
+	if opt.Clients == 0 {
+		opt.Clients = 8
+	}
+	if opt.Rho == 0 {
+		opt.Rho = 0.10
+	}
+	if opt.Iters == 0 {
+		opt.Iters = 40
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 7
+	}
+	rng := tensor.NewRNG(opt.Seed)
+	dense := make([]float32, opt.N)
+	rng.FillNorm(dense, 0.05)
+	// prune.SparseStore is the shared tensor.SparseVec, so the extractor's
+	// selection is wire- and aggregation-ready as-is.
+	sparse := prune.Extract(dense, opt.Rho)
+
+	rep := &SparseBenchReport{N: opt.N, Clients: opt.Clients, Rho: opt.Rho}
+
+	configs := []struct {
+		name   string
+		comp   fed.Compression
+		sparse bool
+	}{
+		{"dense-f32", fed.Compression{DisableSparse: true}, false},
+		{"sparse-f32", fed.Compression{}, true},
+		{"dense-f16", fed.Compression{Quant: fed.QuantF16, DisableSparse: true}, false},
+		{"sparse-f16", fed.Compression{Quant: fed.QuantF16}, true},
+		{"dense-i8", fed.Compression{Quant: fed.QuantI8, DisableSparse: true}, false},
+		{"sparse-i8", fed.Compression{Quant: fed.QuantI8}, true},
+	}
+	for _, cfg := range configs {
+		u := &fed.Update{ClientID: 0, Participating: true, Weight: 100}
+		if cfg.sparse {
+			u.Sparse = sparse
+		} else {
+			u.Params = dense
+		}
+		// The broadcast is the round's aggregate: dense in → dense out,
+		// ρ-sparse in → union-sparse out (auto-sparse covers the down-link).
+		global := append([]float32(nil), (&fed.SparseFedAvg{}).Aggregate([]*fed.Update{u})...)
+		gm := &fed.GlobalModel{Params: global}
+
+		enc := fed.NewCodec(cfg.comp)
+		var buf countingWriter
+		enc.Encode(&buf, u)
+		upBytes := buf.n
+		buf.n = 0
+		enc.Encode(&buf, gm)
+		p := CodecPoint{
+			Name:           cfg.name,
+			BytesPerUpdate: upBytes,
+			BytesPerRound:  int64(opt.Clients) * (upBytes + buf.n),
+		}
+		p.EncodeNsOp = timeOp(opt.Iters, func() { enc.Encode(io.Discard, u) })
+		p.EncodeAllocsOp = testing.AllocsPerRun(opt.Iters, func() { enc.Encode(io.Discard, u) })
+
+		frame := encodeToBytes(cfg.comp, u)
+		dec := fed.NewCodec(fed.Compression{})
+		r := newRewindReader(frame)
+		p.DecodeNsOp = timeOp(opt.Iters, func() {
+			r.rewind()
+			dec.Decode(r)
+		})
+		p.DecodeAllocsOp = testing.AllocsPerRun(opt.Iters, func() {
+			r.rewind()
+			dec.Decode(r)
+		})
+		rep.Codecs = append(rep.Codecs, p)
+	}
+
+	// Aggregation: dense baseline, streaming dense, shared-mask sparse (the
+	// coordinated-sparsity regime) and per-client-mask sparse (the worst
+	// case, where the union grows).
+	mkUpdates := func(kind string) []*fed.Update {
+		var ups []*fed.Update
+		for c := 0; c < opt.Clients; c++ {
+			u := &fed.Update{ClientID: c, Participating: true, Weight: float64(50 + c)}
+			switch kind {
+			case "dense":
+				u.Params = dense
+			case "shared":
+				u.Sparse = sparse
+			case "distinct":
+				w := make([]float32, opt.N)
+				rng.FillNorm(w, 0.05)
+				u.Sparse = prune.Extract(w, opt.Rho)
+			}
+			ups = append(ups, u)
+		}
+		return ups
+	}
+	aggs := []struct {
+		name string
+		agg  fed.Aggregator
+		ups  []*fed.Update
+	}{
+		{"WeightedFedAvg/dense", &fed.WeightedFedAvg{}, mkUpdates("dense")},
+		{"SparseFedAvg/dense", &fed.SparseFedAvg{}, mkUpdates("dense")},
+		{"SparseFedAvg/sparse-shared-mask", &fed.SparseFedAvg{}, mkUpdates("shared")},
+		{"SparseFedAvg/sparse-distinct-masks", &fed.SparseFedAvg{}, mkUpdates("distinct")},
+	}
+	for _, a := range aggs {
+		a.agg.Aggregate(a.ups) // warm both scratch vectors
+		a.agg.Aggregate(a.ups)
+		rep.Aggregates = append(rep.Aggregates, AggregatePoint{
+			Name:     a.name,
+			NsOp:     timeOp(opt.Iters, func() { a.agg.Aggregate(a.ups) }),
+			AllocsOp: testing.AllocsPerRun(opt.Iters, func() { a.agg.Aggregate(a.ups) }),
+		})
+	}
+	return rep
+}
+
+// countingWriter counts bytes written.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// rewindReader re-reads one frame without per-iteration allocation.
+type rewindReader struct {
+	data []byte
+	off  int
+}
+
+func newRewindReader(data []byte) *rewindReader { return &rewindReader{data: data} }
+
+func (r *rewindReader) rewind() { r.off = 0 }
+
+func (r *rewindReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func encodeToBytes(comp fed.Compression, m fed.Msg) []byte {
+	var buf bytes.Buffer
+	fed.NewCodec(comp).Encode(&buf, m)
+	return buf.Bytes()
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (r *SparseBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSparseBench loads a report written by WriteJSON.
+func ReadSparseBench(path string) (*SparseBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r SparseBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Print renders the report as aligned tables with dense-baseline ratios.
+func (r *SparseBenchReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "sparse pipeline bench: n=%d clients=%d rho=%.2f\n", r.N, r.Clients, r.Rho)
+	var baseRound int64
+	for _, c := range r.Codecs {
+		if c.Name == "dense-f32" {
+			baseRound = c.BytesPerRound
+		}
+	}
+	ct := &Table{Title: "codec", Header: []string{"config", "bytes/update", "bytes/round", "vs dense", "encode ns/op", "decode ns/op", "allocs/op"}}
+	for _, c := range r.Codecs {
+		ratio := "—"
+		if baseRound > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(baseRound)/float64(c.BytesPerRound))
+		}
+		ct.Rows = append(ct.Rows, []string{
+			c.Name, fmt.Sprint(c.BytesPerUpdate), fmt.Sprint(c.BytesPerRound), ratio,
+			fmt.Sprintf("%.0f", c.EncodeNsOp), fmt.Sprintf("%.0f", c.DecodeNsOp),
+			fmt.Sprintf("%.0f/%.0f", c.EncodeAllocsOp, c.DecodeAllocsOp),
+		})
+	}
+	ct.Print(w)
+	var baseNs float64
+	for _, a := range r.Aggregates {
+		if a.Name == "WeightedFedAvg/dense" {
+			baseNs = a.NsOp
+		}
+	}
+	at := &Table{Title: "aggregation", Header: []string{"config", "ns/op", "speedup", "allocs/op"}}
+	for _, a := range r.Aggregates {
+		speedup := "—"
+		if baseNs > 0 {
+			speedup = fmt.Sprintf("%.2fx", baseNs/a.NsOp)
+		}
+		at.Rows = append(at.Rows, []string{a.Name, fmt.Sprintf("%.0f", a.NsOp), speedup, fmt.Sprintf("%.0f", a.AllocsOp)})
+	}
+	at.Print(w)
+}
+
+// Compare prints a benchstat-style before/after table against a baseline
+// report and returns an error when a deterministic metric regressed: frame
+// bytes are hardware-independent, so any growth is a codec change that must
+// be made deliberately (and the baseline regenerated). Timing ratios are
+// printed for trend-watching but never fail — CI hardware varies.
+func (r *SparseBenchReport) Compare(base *SparseBenchReport, w io.Writer) error {
+	fmt.Fprintf(w, "\n== vs baseline ==\n")
+	var regressed []string
+	baseCodecs := map[string]CodecPoint{}
+	for _, c := range base.Codecs {
+		baseCodecs[c.Name] = c
+	}
+	for _, c := range r.Codecs {
+		b, ok := baseCodecs[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-12s new config (no baseline)\n", c.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s bytes/round %d → %d   encode %.2fx   decode %.2fx\n",
+			c.Name, b.BytesPerRound, c.BytesPerRound,
+			b.EncodeNsOp/c.EncodeNsOp, b.DecodeNsOp/c.DecodeNsOp)
+		if r.N == base.N && r.Clients == base.Clients && r.Rho == base.Rho &&
+			c.BytesPerRound > b.BytesPerRound {
+			regressed = append(regressed, c.Name)
+		}
+	}
+	baseAggs := map[string]AggregatePoint{}
+	for _, a := range base.Aggregates {
+		baseAggs[a.Name] = a
+	}
+	for _, a := range r.Aggregates {
+		if b, ok := baseAggs[a.Name]; ok {
+			fmt.Fprintf(w, "%-34s %.2fx\n", a.Name, b.NsOp/a.NsOp)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("bytes-per-round regressed for %v: codec change must be deliberate (regenerate the baseline)", regressed)
+	}
+	return nil
+}

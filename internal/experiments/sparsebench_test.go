@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSparseBenchReport(t *testing.T) {
+	rep := SparseBench(SparseBenchOptions{N: 20000, Clients: 4, Iters: 2})
+	if len(rep.Codecs) != 6 || len(rep.Aggregates) != 4 {
+		t.Fatalf("report shape: %d codecs, %d aggregates", len(rep.Codecs), len(rep.Aggregates))
+	}
+	byName := map[string]CodecPoint{}
+	for _, c := range rep.Codecs {
+		if c.BytesPerUpdate <= 0 || c.BytesPerRound <= 0 || c.EncodeNsOp <= 0 || c.DecodeNsOp <= 0 {
+			t.Fatalf("%s: empty measurement %+v", c.Name, c)
+		}
+		byName[c.Name] = c
+	}
+	// The acceptance bar: at ρ = 10% masks, a sparse round costs at most a
+	// quarter of the dense PR-2-style round.
+	dense, sparse := byName["dense-f32"], byName["sparse-f32"]
+	if sparse.BytesPerRound*4 > dense.BytesPerRound {
+		t.Fatalf("sparse round %d B not ≤ 1/4 of dense %d B", sparse.BytesPerRound, dense.BytesPerRound)
+	}
+	// Steady-state codec paths allocate nothing.
+	for _, c := range rep.Codecs {
+		if c.EncodeAllocsOp != 0 || c.DecodeAllocsOp != 0 {
+			t.Fatalf("%s: allocs enc=%v dec=%v", c.Name, c.EncodeAllocsOp, c.DecodeAllocsOp)
+		}
+	}
+	for _, a := range rep.Aggregates {
+		if a.AllocsOp != 0 {
+			t.Fatalf("%s: %v allocs/op", a.Name, a.AllocsOp)
+		}
+	}
+
+	// JSON round trip and self-comparison.
+	path := filepath.Join(t.TempDir(), "BENCH_sparse.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSparseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != rep.N || len(back.Codecs) != len(rep.Codecs) {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+	var out bytes.Buffer
+	rep.Print(&out)
+	if out.Len() == 0 {
+		t.Fatal("empty printed report")
+	}
+	if err := rep.Compare(back, &out); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	// A byte regression must be fatal.
+	worse := *rep
+	worse.Codecs = append([]CodecPoint(nil), rep.Codecs...)
+	worse.Codecs[1].BytesPerRound *= 2
+	if err := worse.Compare(back, &out); err == nil {
+		t.Fatal("byte regression not flagged")
+	}
+}

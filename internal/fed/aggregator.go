@@ -1,0 +1,235 @@
+package fed
+
+import (
+	"repro/internal/tensor"
+)
+
+// Aggregator combines one round's participating client updates into the
+// global flat parameter vector. Implementations receive updates ordered by
+// client ID (the order that makes floating-point aggregation reproducible)
+// and may return a slice aliasing internal scratch: the server guarantees
+// the result is consumed before the next Aggregate call.
+type Aggregator interface {
+	// Name identifies the aggregation rule in reports.
+	Name() string
+	// Aggregate reduces the updates to a global vector, or nil when the
+	// round had no participants.
+	Aggregate(updates []*Update) []float32
+}
+
+// StreamAggregator is an Aggregator that can reduce a round incrementally:
+// the server folds each update into the global scratch the moment it is
+// decoded (still in ascending-client-ID order) instead of buffering per-
+// client copies, so server memory and latency stay flat as the federation
+// grows. An update passed to Accumulate may alias transport decode buffers
+// and is only valid for the duration of the call.
+type StreamAggregator interface {
+	Aggregator
+	// BeginRound resets the round state.
+	BeginRound()
+	// Accumulate folds one participating update into the round.
+	Accumulate(u *Update)
+	// FinishRound completes the reduction and returns the global vector, or
+	// nil when no update was accumulated. The result may alias internal
+	// scratch rewritten by the next round.
+	FinishRound() []float32
+}
+
+// WeightedFedAvg is §III-A's aggregation rule: the sample-count-weighted
+// average of the participants' parameter vectors. A zero weight counts as
+// one so an empty-shard client still participates. The accumulation order
+// (ascending client ID, Axpy then one scale) is part of the contract — it
+// is what keeps results bitwise reproducible across transports and
+// parallelism settings.
+type WeightedFedAvg struct {
+	buf []float32 // global scratch, reused every round
+}
+
+// Name identifies the aggregation rule.
+func (a *WeightedFedAvg) Name() string { return "WeightedFedAvg" }
+
+// Aggregate computes the weighted average into reused scratch.
+func (a *WeightedFedAvg) Aggregate(updates []*Update) []float32 {
+	var total float64
+	var global []float32
+	for _, u := range updates {
+		w := u.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+		if global == nil {
+			n := u.ParamLen()
+			if cap(a.buf) < n {
+				a.buf = make([]float32, n)
+			}
+			global = a.buf[:n]
+			clear(global)
+		}
+		if u.Sparse != nil {
+			tensor.AxpySparse(global, float32(w), u.Sparse)
+		} else {
+			tensor.AxpySlice(global, float32(w), u.Params)
+		}
+	}
+	if global == nil {
+		return nil
+	}
+	inv := float32(1 / total)
+	for i := range global {
+		global[i] *= inv
+	}
+	return global
+}
+
+// sparseBuf is one of SparseFedAvg's two global scratch vectors, together
+// with the record of which coordinates its last round dirtied.
+type sparseBuf struct {
+	buf   []float32
+	dirty []int32 // coordinates to re-zero before this buffer's next round
+	// dirtyAll marks that the whole buffer must be re-zeroed (after a dense
+	// round).
+	dirtyAll bool
+}
+
+// ensure sizes the buffer to n and restores its all-zero invariant, clearing
+// only the coordinates its previous round touched.
+func (b *sparseBuf) ensure(n int) {
+	if cap(b.buf) < n {
+		b.buf = make([]float32, n) // fresh zeros
+		b.dirty = b.dirty[:0]
+		b.dirtyAll = false
+		return
+	}
+	full := b.buf[:cap(b.buf)]
+	if b.dirtyAll {
+		clear(full)
+	} else {
+		for _, j := range b.dirty {
+			full[j] = 0
+		}
+	}
+	b.dirty = b.dirty[:0]
+	b.dirtyAll = false
+	b.buf = full[:n]
+}
+
+// SparseFedAvg is WeightedFedAvg restructured so a round costs O(active
+// knowledge), not O(model × clients): it implements StreamAggregator,
+// folding each update into a global scratch as it arrives, and when every
+// update of a round is sparse it normalises and re-zeroes only the union of
+// touched coordinates. Dense updates take the exact arithmetic of
+// WeightedFedAvg (same clear → Axpy → one scale, same order), so for dense
+// rounds the two aggregators are bitwise interchangeable — which is why this
+// is the server default. Steady-state rounds allocate nothing.
+//
+// Rounds alternate between two scratch vectors: a streaming reducer starts
+// writing when the next round's first update is decoded, which over the
+// zero-copy loopback transport can be before every participant has consumed
+// the previous broadcast — the broadcast slice aliases the *other* buffer,
+// which is not rewritten until one further full collection has proven every
+// participant acknowledged it.
+type SparseFedAvg struct {
+	bufs  [2]sparseBuf
+	cur   int // buffer accumulating the current round
+	total float64
+	count int
+	// full marks that this round normalises and re-zeroes the whole vector:
+	// a dense update joined, or the sparse union outgrew the point where
+	// per-coordinate bookkeeping beats one sequential sweep. Scaling a zero
+	// coordinate is the identity, so both modes produce the same bits.
+	full bool
+
+	union []int32 // ascending union of this round's sparse coordinates
+	merge []int32 // union merge scratch, swapped with union
+}
+
+// Name identifies the aggregation rule.
+func (a *SparseFedAvg) Name() string { return "SparseFedAvg" }
+
+// BeginRound flips to the other scratch vector and resets the round state.
+func (a *SparseFedAvg) BeginRound() {
+	a.cur ^= 1
+	a.total, a.count, a.full = 0, 0, false
+	a.union = a.union[:0]
+}
+
+// Accumulate folds one participating update into the round's scratch.
+func (a *SparseFedAvg) Accumulate(u *Update) {
+	w := u.Weight
+	if w == 0 {
+		w = 1
+	}
+	a.total += w
+	b := &a.bufs[a.cur]
+	if a.count == 0 {
+		b.ensure(u.ParamLen())
+	}
+	a.count++
+	if u.Sparse == nil {
+		tensor.AxpySlice(b.buf, float32(w), u.Params)
+		a.full = true
+		return
+	}
+	tensor.AxpySparse(b.buf, float32(w), u.Sparse)
+	if a.full {
+		return
+	}
+	// Clients sharing one prune mask (the coordinated-sparsity regime) send
+	// identical index lists: detect that with one cheap scan and skip the
+	// branchier merge. When clients prune independently the union keeps
+	// growing; past a quarter of the vector, one sequential full sweep is
+	// cheaper than per-coordinate bookkeeping, so stop tracking.
+	if !equalIndices(a.union, u.Sparse.Indices) {
+		a.merge = tensor.MergeIndices(a.merge, a.union, u.Sparse.Indices)
+		a.union, a.merge = a.merge, a.union
+		if len(a.union)*4 > len(b.buf) {
+			a.full = true
+		}
+	}
+}
+
+// FinishRound normalises by the total weight — over the whole vector in
+// full mode, over only the touched-coordinate union otherwise — and records
+// what must be re-zeroed before this buffer's next round.
+func (a *SparseFedAvg) FinishRound() []float32 {
+	if a.count == 0 {
+		return nil
+	}
+	b := &a.bufs[a.cur]
+	inv := float32(1 / a.total)
+	if a.full {
+		for i := range b.buf {
+			b.buf[i] *= inv
+		}
+		b.dirtyAll = true
+		return b.buf
+	}
+	tensor.ScaleIndexed(b.buf, inv, a.union)
+	b.dirty = append(b.dirty[:0], a.union...)
+	b.dirtyAll = false
+	return b.buf
+}
+
+// equalIndices reports whether two index lists are element-wise equal.
+func equalIndices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Aggregate implements the buffered Aggregator interface in terms of the
+// streaming one.
+func (a *SparseFedAvg) Aggregate(updates []*Update) []float32 {
+	a.BeginRound()
+	for _, u := range updates {
+		a.Accumulate(u)
+	}
+	return a.FinishRound()
+}

@@ -3,6 +3,8 @@ package fed
 import (
 	"math"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 // testAggregatorConformance checks the behaviour every Aggregator must
@@ -81,5 +83,155 @@ func TestWeightedFedAvgConformance(t *testing.T) {
 	testAggregatorConformance(t, func() Aggregator { return &WeightedFedAvg{} })
 	if (&WeightedFedAvg{}).Name() == "" {
 		t.Fatal("aggregator must be identifiable")
+	}
+}
+
+func TestSparseFedAvgConformance(t *testing.T) {
+	testAggregatorConformance(t, func() Aggregator { return &SparseFedAvg{} })
+	if (&SparseFedAvg{}).Name() == "" {
+		t.Fatal("aggregator must be identifiable")
+	}
+}
+
+// sparsify converts an update's dense params to the equivalent sparse form.
+func sparsify(u *Update) *Update {
+	s := *u
+	s.Sparse = tensor.GatherNonzeros(nil, u.Params)
+	s.Params = nil
+	return &s
+}
+
+// TestSparseFedAvgMatchesDenseBitwise: aggregating sparse updates must equal
+// aggregating their densified forms bit for bit, and SparseFedAvg's dense
+// path must equal WeightedFedAvg bit for bit — the property that lets the
+// server default to SparseFedAvg without perturbing any reproducibility
+// invariant.
+func TestSparseFedAvgMatchesDenseBitwise(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	n := 4096
+	var dense []*Update
+	for c := 0; c < 5; c++ {
+		params := make([]float32, n)
+		for i := range params {
+			if rng.Float64() < 0.1 {
+				params[i] = float32(rng.Norm())
+			}
+		}
+		dense = append(dense, &Update{ClientID: c, Participating: true,
+			Weight: float64(10 + c), Params: params})
+	}
+	var sparse []*Update
+	for _, u := range dense {
+		sparse = append(sparse, sparsify(u))
+	}
+
+	wantW := (&WeightedFedAvg{}).Aggregate(dense)
+	gotD := (&SparseFedAvg{}).Aggregate(dense)
+	gotS := (&SparseFedAvg{}).Aggregate(sparse)
+	gotM := (&SparseFedAvg{}).Aggregate([]*Update{sparse[0], dense[1], sparse[2], dense[3], sparse[4]})
+	for i := range wantW {
+		if gotD[i] != wantW[i] {
+			t.Fatalf("dense path diverges from WeightedFedAvg at %d: %v vs %v", i, gotD[i], wantW[i])
+		}
+		if gotS[i] != wantW[i] {
+			t.Fatalf("sparse path diverges at %d: %v vs %v", i, gotS[i], wantW[i])
+		}
+		if gotM[i] != wantW[i] {
+			t.Fatalf("mixed path diverges at %d: %v vs %v", i, gotM[i], wantW[i])
+		}
+	}
+}
+
+// TestSparseFedAvgStreaming drives the StreamAggregator interface the way
+// the server does — BeginRound / Accumulate / FinishRound across several
+// rounds — and checks round isolation: coordinates touched in one round must
+// read zero in the next (the targeted re-zeroing), across both scratch
+// vectors.
+func TestSparseFedAvgStreaming(t *testing.T) {
+	agg := &SparseFedAvg{}
+	rounds := [][]*Update{
+		{{Participating: true, Weight: 1,
+			Sparse: &tensor.SparseVec{N: 6, Indices: []int32{0, 3}, Values: []float32{2, 4}}}},
+		{{Participating: true, Weight: 1,
+			Sparse: &tensor.SparseVec{N: 6, Indices: []int32{1}, Values: []float32{8}}}},
+		{{Participating: true, Weight: 1,
+			Sparse: &tensor.SparseVec{N: 6, Indices: []int32{5}, Values: []float32{6}}}},
+		{{Participating: true, Weight: 1, Params: []float32{1, 1, 1, 1, 1, 1}}},
+		{{Participating: true, Weight: 1,
+			Sparse: &tensor.SparseVec{N: 6, Indices: []int32{2}, Values: []float32{9}}}},
+	}
+	wants := [][]float32{
+		{2, 0, 0, 4, 0, 0},
+		{0, 8, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0, 6},
+		{1, 1, 1, 1, 1, 1},
+		{0, 0, 9, 0, 0, 0},
+	}
+	for r, ups := range rounds {
+		agg.BeginRound()
+		for _, u := range ups {
+			agg.Accumulate(u)
+		}
+		got := agg.FinishRound()
+		for i, want := range wants[r] {
+			if got[i] != want {
+				t.Fatalf("round %d coordinate %d = %v, want %v (stale scratch?)", r, i, got[i], want)
+			}
+		}
+	}
+	// Empty round after activity.
+	agg.BeginRound()
+	if got := agg.FinishRound(); got != nil {
+		t.Fatalf("empty round returned %v", got)
+	}
+}
+
+// TestSparseFedAvgBroadcastSurvivesNextRound pins the double-buffer
+// contract: the vector returned for round r must stay intact while round
+// r+1 accumulates (over zero-copy loopback, clients may still be reading
+// the broadcast when the next round's first update arrives).
+func TestSparseFedAvgBroadcastSurvivesNextRound(t *testing.T) {
+	agg := &SparseFedAvg{}
+	first := agg.Aggregate([]*Update{{Participating: true, Weight: 1, Params: []float32{5, 6, 7}}})
+	agg.BeginRound()
+	agg.Accumulate(&Update{Participating: true, Weight: 1, Params: []float32{1, 2, 3}})
+	if first[0] != 5 || first[1] != 6 || first[2] != 7 {
+		t.Fatalf("round-r broadcast rewritten during round r+1 accumulation: %v", first)
+	}
+	second := agg.FinishRound()
+	if second[0] != 1 || second[1] != 2 || second[2] != 3 {
+		t.Fatalf("second round wrong: %v", second)
+	}
+}
+
+// TestSparseFedAvgZeroAllocSteadyState: after the first round sizes the
+// scratch, further rounds — sparse or dense — must not allocate.
+func TestSparseFedAvgZeroAllocSteadyState(t *testing.T) {
+	rng := tensor.NewRNG(32)
+	n := 8192
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = rng.Float64() < 0.1
+	}
+	w := make([]float32, n)
+	for i := range w {
+		w[i] = float32(rng.Norm())
+	}
+	ups := []*Update{
+		{Participating: true, Weight: 3, Sparse: tensor.GatherMask(nil, w, mask)},
+		{Participating: true, Weight: 2, Sparse: tensor.GatherMask(nil, w, mask)},
+	}
+	agg := &SparseFedAvg{}
+	agg.Aggregate(ups) // warm both scratch vectors
+	agg.Aggregate(ups)
+	allocs := testing.AllocsPerRun(50, func() {
+		agg.BeginRound()
+		for _, u := range ups {
+			agg.Accumulate(u)
+		}
+		agg.FinishRound()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sparse aggregation allocates %v per round", allocs)
 	}
 }

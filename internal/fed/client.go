@@ -39,6 +39,10 @@ type Client struct {
 	mergedBuf []float32
 	idxBuf    []int
 	evalIdx   []int
+	// upd is the reusable round-update message: the server (and any wire
+	// encoder) consumes an Update before the client's next round starts, so
+	// one struct serves every round without allocating.
+	upd Update
 }
 
 // newClient builds a client whose RNG stream is already positioned; rng must
@@ -127,7 +131,8 @@ func (c *Client) Run(ctx context.Context, t Transport) error {
 		} else {
 			// Dropped out this round: acknowledge so the server's collection
 			// loop stays in lockstep, train nothing, keep stale parameters.
-			if err := t.Send(&Update{ClientID: c.ctx.ID}); err != nil {
+			c.upd = Update{ClientID: c.ctx.ID}
+			if err := t.Send(&c.upd); err != nil {
 				return err
 			}
 		}
@@ -154,7 +159,7 @@ func (c *Client) trainAndUpload(t Transport, ct data.ClientTask) error {
 	c.flatBuf = nn.FlattenParamsInto(c.flatBuf, c.ctx.Model.Params())
 	work := c.ctx.Model.FLOPsPerSample() * 3 * float64(c.cfg.BatchSize*c.cfg.LocalIters)
 	work += c.strategy.OverheadFLOPs() * float64(c.cfg.LocalIters)
-	return t.Send(&Update{
+	c.upd = Update{
 		ClientID:       c.ctx.ID,
 		Participating:  true,
 		Weight:         float64(len(ct.Train)),
@@ -162,7 +167,8 @@ func (c *Client) trainAndUpload(t Transport, ct data.ClientTask) error {
 		ComputeSeconds: c.dev.TrainTime(work),
 		UpBytes:        int64(c.ctx.Model.ParamBytes() + c.strategy.ExtraUploadBytes()),
 		DownBytes:      int64(c.ctx.Model.ParamBytes() + c.strategy.ExtraDownloadBytes()),
-	})
+	}
+	return t.Send(&c.upd)
 }
 
 // installGlobal receives the aggregated model, installs it (through the

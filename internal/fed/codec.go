@@ -5,72 +5,191 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/tensor"
 )
 
-// Wire format (all integers little-endian, following internal/checkpoint):
+// Wire format v2 (all fixed-width integers little-endian, counts unsigned
+// varints):
 //
 //	frame   := kind(uint8) length(uint32) payload
 //	payload :=
-//	  Hello       clientID(uint32) jobFingerprint(uint64)
+//	  Hello       clientID(uint32) jobFingerprint(uint64) quant(uint8)
 //	  RoundStart  taskIdx(uint32) round(uint32) flags(uint8)
 //	              flags: bit0 participate, bit1 taskDone
 //	  Update      clientID(uint32) flags(uint8) weight(float64)
 //	              computeSeconds(float64) upBytes(uint64) downBytes(uint64)
-//	              n(uint64) n×float32
+//	              params
 //	              flags: bit0 participating
-//	  GlobalModel n(uint64) n×float32
+//	  GlobalModel params
 //	  RoundEnd    clientID(uint32) flags(uint8) n(uint64) n×float64
 //	              flags: bit0 dead
 //
-// Floats travel as their IEEE-754 bit patterns, so a wire run reproduces a
-// loopback run bit for bit.
+// Parameter vectors travel as a self-describing params block:
+//
+//	params := format(uint8) n(uvarint) body
+//	format := value(bit0-1: 0 float32, 1 float16, 2 int8) | sparse(bit2)
+//	dense  body := [scale(float32) if int8] n×value
+//	sparse body := k(uvarint) [scale(float32) if int8]
+//	               k×gap(uvarint) k×value
+//
+// A sparse block stores only k of the n coordinates: gaps are the
+// varint-delta-coded index increments (index₀ = gap₀, indexᵢ =
+// indexᵢ₋₁ + 1 + gapᵢ — strictly ascending by construction), so bytes on
+// the wire scale with the active knowledge, not the model. With float32
+// values both dense and sparse blocks carry raw IEEE-754 bit patterns and
+// the encoder picks whichever is smaller: a wire run stays bit-identical to
+// a loopback run. The float16/int8 value encodings (per-tensor symmetric
+// scale for int8) are lossy and therefore opt-in, negotiated in the Hello
+// handshake.
 const (
 	// maxFrame bounds a frame payload (256 MB ≈ a 64M-parameter model);
 	// anything larger is a corrupt or hostile stream.
 	maxFrame = 1 << 28
+	// maxParams bounds the *logical* length a params block may claim, so a
+	// tiny hostile sparse frame cannot make the receiver densify gigabytes.
+	maxParams = maxFrame / 4
 
 	flagParticipate = 1 << 0
 	flagTaskDone    = 1 << 1
 	flagDead        = 1 << 0
+
+	fmtValueMask = 0x03
+	fmtSparse    = 0x04
 )
 
+// Compression is the codec half of a link's negotiated settings: the value
+// encoding (lossless float32 by default) and whether the encoder may choose
+// the sparse block form when it is smaller (it always may, unless disabled
+// for benchmarking dense baselines — decoding accepts every form
+// regardless).
+type Compression struct {
+	Quant         Quant
+	DisableSparse bool
+}
+
+// formatByte returns the params-block format for this compression with the
+// given block form.
+func (c Compression) formatByte(sparse bool) byte {
+	b := byte(c.Quant) & fmtValueMask
+	if sparse {
+		b |= fmtSparse
+	}
+	return b
+}
+
 // helloMsg is the transport-level identification frame a wire client sends
-// after dialing: its claimed client ID plus the job fingerprint the server
-// checks for configuration agreement. It never crosses the Transport
+// after dialing: its claimed client ID, the job fingerprint the server
+// checks for configuration agreement, and the value encoding it will use —
+// quantization changes results, so a server rejects clients that disagree
+// instead of silently mixing precisions. It never crosses the Transport
 // interface.
 type helloMsg struct {
 	clientID    int
 	fingerprint uint64
+	quant       Quant
 }
 
 func (*helloMsg) Kind() Kind { return KindHello }
 
+// Codec is a reusable encoder/decoder for one frame stream. Encode builds
+// payloads in an internal scratch buffer and Decode reads into internal
+// reusable buffers, so steady-state rounds allocate nothing; messages
+// decoded by the same Codec alias its buffers and stay valid only until the
+// next Decode — the lockstep protocol consumes every message before the
+// link's next receive. Use separate Codecs (or the package-level Encode and
+// Decode) for retained messages.
+type Codec struct {
+	comp Compression
+	enc  []byte
+	hdr  [5]byte // frame-header scratch (kept here so it never escapes per call)
+	dec  decodeScratch
+}
+
+// NewCodec returns a codec that encodes with the given compression. Decoding
+// is format-driven and accepts every encoding regardless of comp.
+func NewCodec(comp Compression) *Codec {
+	return &Codec{comp: comp}
+}
+
 // Encode writes one frame to w.
-func Encode(w io.Writer, m Msg) error {
-	_, err := encodeFrame(w, m, nil)
+func (c *Codec) Encode(w io.Writer, m Msg) error {
+	payload := appendPayload(c.enc[:0], m, c.comp)
+	c.enc = payload
+	c.hdr[0] = byte(m.Kind())
+	binary.LittleEndian.PutUint32(c.hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
 	return err
 }
 
-// encodeFrame writes one frame, building the payload in scratch (grown as
-// needed and returned so callers can reuse it — parameter payloads are
-// multi-MB and re-sent every round).
-func encodeFrame(w io.Writer, m Msg, scratch []byte) ([]byte, error) {
-	payload := appendPayload(scratch[:0], m)
-	var hdr [5]byte
-	hdr[0] = byte(m.Kind())
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return payload, err
-	}
-	_, err := w.Write(payload)
-	return payload, err
+// Decode reads one frame from r. io.EOF at a frame boundary means the peer
+// closed cleanly; a truncated frame surfaces as io.ErrUnexpectedEOF.
+func (c *Codec) Decode(r io.Reader) (Msg, error) {
+	m, _, err := c.decodeFrame(r)
+	return m, err
 }
 
-func appendPayload(buf []byte, m Msg) []byte {
+// decodeFrame is Decode also reporting the frame's size in bytes (header
+// plus payload), for transports that account bytes on the wire.
+func (c *Codec) decodeFrame(r io.Reader) (Msg, int, error) {
+	s := &c.dec
+	hdr := &s.hdr
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, 0, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return nil, 0, fmt.Errorf("fed: frame length %d exceeds limit", n)
+	}
+	payload := grow(&s.payload, int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 0, err
+	}
+	m, err := decodePayload(Kind(hdr[0]), payload, s)
+	return m, 5 + int(n), err
+}
+
+// Encode writes one frame to w with the default (lossless) compression,
+// without scratch reuse. Hot paths use a Codec.
+func Encode(w io.Writer, m Msg) error {
+	return NewCodec(Compression{}).Encode(w, m)
+}
+
+// Decode reads one frame from r into freshly allocated buffers. io.EOF at a
+// frame boundary means the peer closed cleanly; a truncated frame surfaces
+// as io.ErrUnexpectedEOF.
+func Decode(r io.Reader) (Msg, error) {
+	return NewCodec(Compression{}).Decode(r)
+}
+
+// uvarintLen is the encoded size of v in bytes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func appendPayload(buf []byte, m Msg, comp Compression) []byte {
 	switch v := m.(type) {
 	case *helloMsg:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.clientID))
 		buf = binary.LittleEndian.AppendUint64(buf, v.fingerprint)
+		buf = append(buf, byte(v.quant))
 	case *RoundStart:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.TaskIdx))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Round))
@@ -93,9 +212,9 @@ func appendPayload(buf []byte, m Msg) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.ComputeSeconds))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.UpBytes))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.DownBytes))
-		buf = appendF32s(buf, v.Params)
+		buf = appendParams(buf, v.Params, v.Sparse, comp)
 	case *GlobalModel:
-		buf = appendF32s(buf, v.Params)
+		buf = appendParams(buf, v.Params, nil, comp)
 	case *RoundEnd:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.ClientID))
 		var flags byte
@@ -113,23 +232,155 @@ func appendPayload(buf []byte, m Msg) []byte {
 	return buf
 }
 
-func appendF32s(buf []byte, vals []float32) []byte {
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(vals)))
-	for _, v := range vals {
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+// appendParams emits one params block. A non-nil sp takes precedence and is
+// emitted in sparse form directly; a dense vector is scanned once and
+// emitted in whichever form is smaller (coordinates with zero *bit
+// patterns* are the droppable ones — negative zero is preserved, keeping
+// the float32 encodings bit-exact).
+func appendParams(buf []byte, dense []float32, sp *tensor.SparseVec, comp Compression) []byte {
+	if sp != nil {
+		buf = append(buf, comp.formatByte(true))
+		buf = binary.AppendUvarint(buf, uint64(sp.N))
+		return appendSparseBody(buf, sp.Indices, sp.Values, comp.Quant)
+	}
+	n := len(dense)
+	if !comp.DisableSparse && n > 0 {
+		vb := comp.Quant.valueBytes()
+		scaleBytes := 0
+		if comp.Quant == QuantI8 {
+			scaleBytes = 4
+		}
+		// One scan decides dense vs sparse by exact encoded size. The sparse
+		// cost only grows, so bail out (and keep the dense form) as soon as
+		// it provably cannot beat the dense size — a fully dense vector
+		// stops ~4/5 of the way through instead of paying the whole scan.
+		k, gapBytes, prev := 0, 0, -1
+		for i, v := range dense {
+			if math.Float32bits(v) != 0 {
+				gapBytes += uvarintLen(uint64(i - prev - 1))
+				prev = i
+				k++
+				if gapBytes+k*vb+1 >= n*vb {
+					break
+				}
+			}
+		}
+		if uvarintLen(uint64(k))+scaleBytes+gapBytes+k*vb < scaleBytes+n*vb {
+			buf = append(buf, comp.formatByte(true))
+			buf = binary.AppendUvarint(buf, uint64(n))
+			return appendSparseFromDense(buf, dense, k, comp.Quant)
+		}
+	}
+	buf = append(buf, comp.formatByte(false))
+	buf = binary.AppendUvarint(buf, uint64(n))
+	switch comp.Quant {
+	case QuantF16:
+		for _, v := range dense {
+			buf = binary.LittleEndian.AppendUint16(buf, f32ToF16(v))
+		}
+	case QuantI8:
+		if n == 0 {
+			break // the decoder reads nothing (not even a scale) at n = 0
+		}
+		scale := i8Scale(dense)
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(scale))
+		for _, v := range dense {
+			buf = append(buf, byte(i8Quantize(v, scale)))
+		}
+	default:
+		for _, v := range dense {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
 	}
 	return buf
 }
 
-// decodeScratch holds the reusable buffers of one decoding stream. Messages
-// decoded with the same scratch alias its buffers: each stays valid only
-// until the next slice-bearing message of the same element type is decoded
-// — which matches the lockstep protocol, where every message is consumed
-// before the link's next Recv. Use a fresh scratch for retained messages.
+// appendSparseBody emits k, the optional scale, the index gaps and the
+// values of an explicit sparse vector (indices strictly ascending).
+func appendSparseBody(buf []byte, idx []int32, vals []float32, q Quant) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(idx)))
+	var scale float32
+	if q == QuantI8 {
+		scale = i8Scale(vals)
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(scale))
+	}
+	prev := int32(-1)
+	for _, j := range idx {
+		buf = binary.AppendUvarint(buf, uint64(j-prev-1))
+		prev = j
+	}
+	switch q {
+	case QuantF16:
+		for _, v := range vals {
+			buf = binary.LittleEndian.AppendUint16(buf, f32ToF16(v))
+		}
+	case QuantI8:
+		for _, v := range vals {
+			buf = append(buf, byte(i8Quantize(v, scale)))
+		}
+	default:
+		for _, v := range vals {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+// appendSparseFromDense emits the sparse body of a dense vector's non-zero
+// (by bit pattern) coordinates without materialising the index list. k is
+// the caller's non-zero count (appendParams already scanned for the size
+// decision); the format's gaps-then-values layout still needs two sweeps.
+func appendSparseFromDense(buf []byte, dense []float32, k int, q Quant) []byte {
+	buf = binary.AppendUvarint(buf, uint64(k))
+	var scale float32
+	if q == QuantI8 {
+		scale = i8Scale(dense)
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(scale))
+	}
+	prev := -1
+	for i, v := range dense {
+		if math.Float32bits(v) != 0 {
+			buf = binary.AppendUvarint(buf, uint64(i-prev-1))
+			prev = i
+		}
+	}
+	for _, v := range dense {
+		if math.Float32bits(v) == 0 {
+			continue
+		}
+		switch q {
+		case QuantF16:
+			buf = binary.LittleEndian.AppendUint16(buf, f32ToF16(v))
+		case QuantI8:
+			buf = append(buf, byte(i8Quantize(v, scale)))
+		default:
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+// decodeScratch holds the reusable buffers and message structs of one
+// decoding stream. Messages decoded with the same scratch alias its buffers:
+// each stays valid only until the next message reusing the same buffer is
+// decoded — which matches the lockstep protocol, where every message is
+// consumed before the link's next Recv. Use a fresh scratch for retained
+// messages.
 type decodeScratch struct {
+	hdr     [5]byte
 	payload []byte
 	f32     []float32
 	f64     []float64
+	spIdx   []int32
+	spVal   []float32
+
+	// pooled message structs, rewritten by each decode of their kind
+	hello helloMsg
+	rs    RoundStart
+	upd   Update
+	gm    GlobalModel
+	re    RoundEnd
+	sp    tensor.SparseVec
 }
 
 // grow returns a length-n slice backed by *buf, reallocating only when the
@@ -140,38 +391,6 @@ func grow[T any](buf *[]T, n int) []T {
 		*buf = make([]T, n)
 	}
 	return (*buf)[:n]
-}
-
-// Decode reads one frame from r into freshly allocated buffers. io.EOF at a
-// frame boundary means the peer closed cleanly; a truncated frame surfaces
-// as io.ErrUnexpectedEOF.
-func Decode(r io.Reader) (Msg, error) {
-	return decodeWith(r, &decodeScratch{})
-}
-
-func decodeWith(r io.Reader, s *decodeScratch) (Msg, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
-		return nil, err
-	}
-	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("fed: frame length %d exceeds limit", n)
-	}
-	payload := grow(&s.payload, int(n))
-	if _, err := io.ReadFull(r, payload); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
-	}
-	return decodePayload(Kind(hdr[0]), payload, s)
 }
 
 // cursor walks a payload with bounds checking.
@@ -221,24 +440,138 @@ func (c *cursor) u64() uint64 {
 
 func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
 
-func (c *cursor) f32s() []float32 {
-	n := c.u64()
+func (c *cursor) f32() float32 { return math.Float32frombits(c.u32()) }
+
+func (c *cursor) uvarint() uint64 {
 	if c.err != nil {
-		return nil
+		return 0
 	}
-	if n > uint64(len(c.buf)-c.off)/4 {
-		c.err = fmt.Errorf("fed: float32 count %d exceeds payload", n)
-		return nil
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		c.err = fmt.Errorf("fed: bad varint at offset %d", c.off)
+		return 0
 	}
+	c.off += n
+	return v
+}
+
+// params decodes one params block into the scratch buffers: dense forms
+// yield a float32 slice, sparse forms a SparseVec. Lossy value encodings are
+// dequantised here, so every caller sees float32.
+func (c *cursor) params() (dense []float32, sp *tensor.SparseVec) {
+	format := c.u8()
+	n := c.uvarint()
+	if c.err != nil {
+		return nil, nil
+	}
+	if format&^(fmtValueMask|fmtSparse) != 0 || Quant(format&fmtValueMask) > QuantI8 {
+		c.err = fmt.Errorf("fed: unknown params format %#x", format)
+		return nil, nil
+	}
+	if n > maxParams {
+		c.err = fmt.Errorf("fed: params length %d exceeds limit", n)
+		return nil, nil
+	}
+	q := Quant(format & fmtValueMask)
 	if n == 0 {
-		return nil
+		if format&fmtSparse != 0 {
+			if k := c.uvarint(); c.err == nil && k != 0 {
+				c.err = fmt.Errorf("fed: sparse params store %d of 0 coordinates", k)
+			}
+			if q == QuantI8 {
+				c.f32()
+			}
+		}
+		return nil, nil
 	}
-	out := grow(&c.scratch.f32, int(n))
-	b := c.take(int(n) * 4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	if format&fmtSparse == 0 {
+		if uint64(len(c.buf)-c.off) < n { // every value is ≥ 1 byte
+			c.err = fmt.Errorf("fed: params count %d exceeds payload", n)
+			return nil, nil
+		}
+		out := grow(&c.scratch.f32, int(n))
+		c.values(out, q)
+		return out, nil
 	}
-	return out
+	k := c.uvarint()
+	if c.err != nil {
+		return nil, nil
+	}
+	if k > n || uint64(len(c.buf)-c.off) < k { // every gap+value is ≥ 2 bytes
+		c.err = fmt.Errorf("fed: sparse params store %d of %d coordinates", k, n)
+		return nil, nil
+	}
+	sp = &c.scratch.sp
+	sp.N = int(n)
+	sp.Indices = grow(&c.scratch.spIdx, int(k))
+	sp.Values = grow(&c.scratch.spVal, int(k))
+	var scale float32
+	if q == QuantI8 {
+		scale = c.f32()
+	}
+	prev := int64(-1)
+	for i := range sp.Indices {
+		gap := c.uvarint()
+		if c.err != nil {
+			return nil, nil
+		}
+		// Bound the gap before widening: a hostile 64-bit varint must not
+		// wrap int64 into a duplicate, descending or negative index (which
+		// would break the strictly-ascending invariant the parallel
+		// scatter kernels rely on, or panic the aggregator).
+		if gap > maxParams {
+			c.err = fmt.Errorf("fed: sparse index gap %d exceeds limit", gap)
+			return nil, nil
+		}
+		idx := prev + 1 + int64(gap)
+		if idx >= int64(n) {
+			c.err = fmt.Errorf("fed: sparse index %d out of range [0,%d)", idx, n)
+			return nil, nil
+		}
+		sp.Indices[i] = int32(idx)
+		prev = idx
+	}
+	c.quantValues(sp.Values, q, scale)
+	return nil, sp
+}
+
+// values fills out with n dequantised values (reading the scale first for
+// int8 dense blocks).
+func (c *cursor) values(out []float32, q Quant) {
+	var scale float32
+	if q == QuantI8 {
+		scale = c.f32()
+	}
+	c.quantValues(out, q, scale)
+}
+
+func (c *cursor) quantValues(out []float32, q Quant, scale float32) {
+	switch q {
+	case QuantF16:
+		b := c.take(len(out) * 2)
+		if b == nil {
+			return
+		}
+		for i := range out {
+			out[i] = f16ToF32(binary.LittleEndian.Uint16(b[2*i:]))
+		}
+	case QuantI8:
+		b := c.take(len(out))
+		if b == nil {
+			return
+		}
+		for i := range out {
+			out[i] = float32(int8(b[i])) * scale
+		}
+	default:
+		b := c.take(len(out) * 4)
+		if b == nil {
+			return
+		}
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+	}
 }
 
 func (c *cursor) f64s() []float64 {
@@ -274,28 +607,44 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 	c := &cursor{buf: payload, scratch: s}
 	switch kind {
 	case KindHello:
-		m := &helloMsg{clientID: int(c.u32()), fingerprint: c.u64()}
+		m := &s.hello
+		*m = helloMsg{clientID: int(c.u32()), fingerprint: c.u64(), quant: Quant(c.u8())}
+		if c.err == nil && m.quant > QuantI8 {
+			c.err = fmt.Errorf("fed: unknown quantisation mode %d in hello", m.quant)
+		}
 		return c.finish(m)
 	case KindRoundStart:
-		m := &RoundStart{TaskIdx: int(c.u32()), Round: int(c.u32())}
+		m := &s.rs
+		*m = RoundStart{TaskIdx: int(c.u32()), Round: int(c.u32())}
 		flags := c.u8()
 		m.Participate = flags&flagParticipate != 0
 		m.TaskDone = flags&flagTaskDone != 0
 		return c.finish(m)
 	case KindUpdate:
-		m := &Update{ClientID: int(c.u32())}
+		m := &s.upd
+		*m = Update{ClientID: int(c.u32())}
 		m.Participating = c.u8()&flagParticipate != 0
 		m.Weight = c.f64()
 		m.ComputeSeconds = c.f64()
 		m.UpBytes = int64(c.u64())
 		m.DownBytes = int64(c.u64())
-		m.Params = c.f32s()
+		m.Params, m.Sparse = c.params()
 		return c.finish(m)
 	case KindGlobalModel:
-		m := &GlobalModel{Params: c.f32s()}
+		m := &s.gm
+		dense, sp := c.params()
+		if sp != nil {
+			// Clients install the global model as a full vector (mask merge,
+			// SetFlatParams), so a sparse-encoded broadcast is densified here:
+			// absent coordinates are zero by definition of the block.
+			dense = sp.DensifyInto(s.f32)
+			s.f32 = dense
+		}
+		m.Params = dense
 		return c.finish(m)
 	case KindRoundEnd:
-		m := &RoundEnd{ClientID: int(c.u32())}
+		m := &s.re
+		*m = RoundEnd{ClientID: int(c.u32())}
 		m.Dead = c.u8()&flagDead != 0
 		m.EvalAccs = c.f64s()
 		return c.finish(m)

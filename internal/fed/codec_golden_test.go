@@ -1,0 +1,99 @@
+package fed
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestCodecGoldenFrames pins the wire format at the byte level: these
+// fixtures are the frozen v2 encodings of representative frames. If one of
+// them changes, the codec changed — bump the Fingerprint formatVersion,
+// regenerate the fixtures deliberately, and expect old and new binaries not
+// to interoperate. An accidental diff here is a protocol break that the
+// round-trip tests alone would not catch.
+func TestCodecGoldenFrames(t *testing.T) {
+	sparse := &tensor.SparseVec{N: 8, Indices: []int32{1, 2, 7}, Values: []float32{1, -2, 0.5}}
+	cases := []struct {
+		name string
+		comp Compression
+		msg  Msg
+		hex  string
+	}{
+		{
+			name: "hello",
+			msg:  &helloMsg{clientID: 3, fingerprint: 0xDEADBEEFCAFE, quant: QuantF16},
+			hex:  "000d00000003000000fecaefbeadde000001",
+		},
+		{
+			name: "round start",
+			msg:  &RoundStart{TaskIdx: 2, Round: 5, Participate: true, TaskDone: true},
+			hex:  "0109000000020000000500000003",
+		},
+		{
+			name: "dense update",
+			msg: &Update{ClientID: 1, Participating: true, Weight: 30, ComputeSeconds: 0.25,
+				UpBytes: 1024, DownBytes: 2048, Params: []float32{1, -2, 0.5}},
+			hex:  "023300000001000000010000000000003e40000000000000d03f0004000000000000000800000000000000030000803f000000c00000003f",
+		},
+		{
+			name: "sparse update",
+			msg:  &Update{ClientID: 2, Participating: true, Weight: 7, Sparse: sparse},
+			hex:  "023700000002000000010000000000001c400000000000000000000000000000000000000000000000000408030100040000803f000000c00000003f",
+		},
+		{
+			name: "auto-sparse global model",
+			msg:  &GlobalModel{Params: []float32{0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0}},
+			hex:  "0308000000040c010400004040",
+		},
+		{
+			name: "dense global model",
+			msg:  &GlobalModel{Params: []float32{1, 2, 3}},
+			hex:  "030e00000000030000803f0000004000004040",
+		},
+		{
+			name: "f16 global model",
+			comp: Compression{Quant: QuantF16},
+			msg:  &GlobalModel{Params: []float32{1, -2, 65504}},
+			hex:  "03080000000103003c00c0ff7b",
+		},
+		{
+			name: "i8 sparse update values",
+			comp: Compression{Quant: QuantI8},
+			msg:  &Update{ClientID: 0, Participating: true, Weight: 1, Sparse: sparse},
+			hex:  "02320000000000000001000000000000f03f0000000000000000000000000000000000000000000000000608030402813c010004408120",
+		},
+		{
+			name: "dropout acknowledgement",
+			msg:  &Update{ClientID: 4},
+			hex:  "0227000000040000000000000000000000000000000000000000000000000000000000000000000000000000",
+		},
+		{
+			name: "round end",
+			msg:  &RoundEnd{ClientID: 1, EvalAccs: []float64{0.5, 1}},
+			hex:  "041d00000001000000000200000000000000000000000000e03f000000000000f03f",
+		},
+		{
+			name: "death report",
+			msg:  &RoundEnd{ClientID: 2, Dead: true},
+			hex:  "040d00000002000000010000000000000000",
+		},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := NewCodec(c.comp).Encode(&buf, c.msg); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := hex.EncodeToString(buf.Bytes())
+		if got != c.hex {
+			t.Errorf("%s: encoding changed\n got  %s\n want %s", c.name, got, c.hex)
+			continue
+		}
+		// Every fixture must decode back cleanly.
+		if _, err := Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Errorf("%s: fixture does not decode: %v", c.name, err)
+		}
+	}
+}

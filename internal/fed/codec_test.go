@@ -2,10 +2,13 @@ package fed
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math"
 	"reflect"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 // roundTrip encodes m, decodes the frame, and returns the result.
@@ -111,16 +114,237 @@ func TestCodecErrors(t *testing.T) {
 	}
 }
 
+func TestCodecRoundTripSparse(t *testing.T) {
+	msgs := []*Update{
+		{ClientID: 3, Participating: true, Weight: 12,
+			Sparse: &tensor.SparseVec{N: 10, Indices: []int32{0, 4, 9}, Values: []float32{1.5, -2, 3}}},
+		{ClientID: 1, Participating: true, Weight: 1,
+			Sparse: &tensor.SparseVec{N: 1 << 20}}, // empty sparse vector
+		{ClientID: 0, Participating: true,
+			Sparse: &tensor.SparseVec{N: 3, Indices: []int32{2}, Values: []float32{0}}}, // stored zero survives
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m).(*Update)
+		if got.Params != nil {
+			t.Fatalf("sparse update decoded with dense params")
+		}
+		if got.Sparse.N != m.Sparse.N || got.Sparse.Len() != m.Sparse.Len() {
+			t.Fatalf("sparse shape: got (%d,%d), want (%d,%d)",
+				got.Sparse.N, got.Sparse.Len(), m.Sparse.N, m.Sparse.Len())
+		}
+		for i := range m.Sparse.Indices {
+			if got.Sparse.Indices[i] != m.Sparse.Indices[i] ||
+				math.Float32bits(got.Sparse.Values[i]) != math.Float32bits(m.Sparse.Values[i]) {
+				t.Fatalf("sparse entry %d: got (%d,%v), want (%d,%v)", i,
+					got.Sparse.Indices[i], got.Sparse.Values[i],
+					m.Sparse.Indices[i], m.Sparse.Values[i])
+			}
+		}
+	}
+}
+
+// TestCodecAutoSparse: a mostly-zero dense vector is transparently shipped
+// as a sparse frame — smaller on the wire, bit-exact after decoding — while
+// a dense vector keeps the dense form. Negative zero has a non-zero bit
+// pattern and must survive either way.
+func TestCodecAutoSparse(t *testing.T) {
+	dense := make([]float32, 1000)
+	dense[3] = 1.5
+	dense[500] = float32(math.Copysign(0, -1))
+	dense[999] = -8
+
+	var sparse, denseOff bytes.Buffer
+	if err := Encode(&sparse, &Update{Participating: true, Params: dense}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCodec(Compression{DisableSparse: true})
+	if err := c.Encode(&denseOff, &Update{Participating: true, Params: dense}); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Len() >= denseOff.Len() {
+		t.Fatalf("auto-sparse frame (%d B) not smaller than dense (%d B)", sparse.Len(), denseOff.Len())
+	}
+	got, err := Decode(&sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := got.(*Update)
+	if u.Sparse == nil {
+		t.Fatal("auto-sparse frame decoded dense")
+	}
+	back := u.Sparse.Densify()
+	for i := range dense {
+		if math.Float32bits(back[i]) != math.Float32bits(dense[i]) {
+			t.Fatalf("coordinate %d: %#x != %#x", i, math.Float32bits(back[i]), math.Float32bits(dense[i]))
+		}
+	}
+
+	// A fully dense vector stays dense.
+	full := make([]float32, 100)
+	for i := range full {
+		full[i] = float32(i + 1)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, &GlobalModel{Params: full}); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gm.(*GlobalModel).Params, full) {
+		t.Fatal("dense global model mangled")
+	}
+}
+
+// TestCodecSparseGlobalModelDensifies: GlobalModel frames may travel sparse,
+// but clients install full vectors, so the decoder densifies them.
+func TestCodecSparseGlobalModelDensifies(t *testing.T) {
+	params := make([]float32, 64)
+	params[7] = 3.5
+	var buf bytes.Buffer
+	if err := Encode(&buf, &GlobalModel{Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.(*GlobalModel).Params, params) {
+		t.Fatalf("sparse-encoded global model: got %v", got.(*GlobalModel).Params)
+	}
+}
+
+func TestCodecQuantizedF16(t *testing.T) {
+	c := NewCodec(Compression{Quant: QuantF16})
+	params := []float32{1, -0.5, 0.333333, 100, 0}
+	var buf bytes.Buffer
+	if err := c.Encode(&buf, &Update{Participating: true, Weight: 2, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := got.(*Update)
+	var dec []float32
+	if u.Sparse != nil {
+		dec = u.Sparse.Densify()
+	} else {
+		dec = u.Params
+	}
+	for i, v := range params {
+		if math.Abs(float64(dec[i]-v)) > math.Abs(float64(v))*1e-3 {
+			t.Errorf("f16 value %d: %v → %v", i, v, dec[i])
+		}
+	}
+	// Exactly-representable values survive bit-for-bit.
+	for _, i := range []int{0, 1, 3, 4} {
+		if dec[i] != params[i] {
+			t.Errorf("f16-exact value %v decoded as %v", params[i], dec[i])
+		}
+	}
+}
+
+// TestCodecQuantizedEmptyParams: a dropped-out client's acknowledgement
+// (nil params) must round-trip under every value encoding — a -compress
+// int8 run with dropout sends these every round.
+func TestCodecQuantizedEmptyParams(t *testing.T) {
+	for _, q := range []Quant{QuantNone, QuantF16, QuantI8} {
+		var buf bytes.Buffer
+		c := NewCodec(Compression{Quant: q})
+		if err := c.Encode(&buf, &Update{ClientID: 3}); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		u := got.(*Update)
+		if u.ClientID != 3 || u.Params != nil || u.Sparse != nil {
+			t.Fatalf("%s: %+v", q, u)
+		}
+	}
+}
+
+func TestCodecQuantizedI8(t *testing.T) {
+	c := NewCodec(Compression{Quant: QuantI8})
+	params := []float32{127, -127, 64, 0, 1}
+	var buf bytes.Buffer
+	if err := c.Encode(&buf, &GlobalModel{Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	// int8 dense payload: format+n+scale+5 values = 1+1+4+5 = 11 ≤ a third
+	// of the float32 form's 23.
+	if plLen := buf.Len() - 5; plLen != 11 {
+		t.Fatalf("i8 payload %d bytes, want 11", plLen)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := got.(*GlobalModel).Params
+	for i, v := range params {
+		if math.Abs(float64(dec[i]-v)) > 0.5 {
+			t.Errorf("i8 value %d: %v → %v", i, v, dec[i])
+		}
+	}
+}
+
+// TestCodecSparseDecoderBounds exercises the sparse decoder's validation:
+// out-of-range indices, over-long counts and varint overflows must error,
+// never panic or over-allocate.
+func TestCodecSparseDecoderBounds(t *testing.T) {
+	sparseFrame := func(body ...byte) []byte {
+		frame := append([]byte{byte(KindGlobalModel), 0, 0, 0, 0}, body...)
+		binary.LittleEndian.PutUint32(frame[1:], uint32(len(body)))
+		return frame
+	}
+	cases := map[string][]byte{
+		"index out of range":     sparseFrame(0x04, 4, 1, 200, 0, 0, 0x80, 0x3F), // idx 200 ≥ n 4
+		"gap wraps to duplicate": sparseFrame(0x04, 8, 2, 5, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0, 0, 0x80, 0x3F, 0, 0, 0x80, 0x3F), // gap 2^64-1 ⇒ idx = prev
+		"gap varint overflow":    sparseFrame(0x04, 4, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01),
+		"k exceeds n":            sparseFrame(0x04, 2, 3, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12),
+		"k exceeds payload":      sparseFrame(0x04, 100, 90),
+		"n exceeds limit":        sparseFrame(0x04, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0),
+		"truncated gap stream":   sparseFrame(0x04, 10, 2, 1),
+		"truncated sparse value": sparseFrame(0x04, 10, 2, 1, 1, 0, 0, 0, 0),
+		"unknown format":         sparseFrame(0x0F, 1, 0),
+		"unknown value encoding": sparseFrame(0x03, 1, 0, 0, 0, 0),
+		"nonzero k at n=0":       sparseFrame(0x04, 0, 1, 0, 0, 0, 0, 0),
+	}
+	for name, raw := range cases {
+		if _, err := Decode(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	// Duplicate/descending indices are impossible by construction: gap
+	// encoding always advances by at least one. A zero gap after the first
+	// index is index+1, still strictly ascending — verify it decodes.
+	ok := sparseFrame(0x04, 4, 2, 1, 0, 0, 0, 0x80, 0x3F, 0, 0, 0x80, 0xBF) // idx 1,2 ← gaps 1,0
+	m, err := Decode(bytes.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid sparse frame rejected: %v", err)
+	}
+	sp := m.(*GlobalModel).Params
+	if sp[1] != 1 || sp[2] != -1 {
+		t.Fatalf("sparse frame decoded wrong: %v", sp)
+	}
+}
+
 // FuzzDecode feeds arbitrary bytes through the decoder: it must never panic
 // or over-allocate, and anything it accepts must re-encode to a frame that
 // decodes back to the same message.
 func FuzzDecode(f *testing.F) {
 	seeds := []Msg{
-		&helloMsg{clientID: 3, fingerprint: 1},
+		&helloMsg{clientID: 3, fingerprint: 1, quant: QuantF16},
 		&RoundStart{TaskIdx: 2, Round: 1, Participate: true, TaskDone: true},
 		&Update{ClientID: 1, Participating: true, Weight: 10, ComputeSeconds: 1.5,
 			UpBytes: 100, DownBytes: 200, Params: []float32{1, 2, 3}},
+		&Update{ClientID: 2, Participating: true, Weight: 4,
+			Sparse: &tensor.SparseVec{N: 100, Indices: []int32{0, 17, 99}, Values: []float32{1, -2, 3}}},
 		&GlobalModel{Params: []float32{-1, 0.5}},
+		&GlobalModel{Params: append(make([]float32, 60), 2.5)}, // auto-sparse form
 		&RoundEnd{ClientID: 2, EvalAccs: []float64{0.1, 0.9}},
 	}
 	for _, m := range seeds {
@@ -130,7 +354,16 @@ func FuzzDecode(f *testing.F) {
 		}
 		f.Add(buf.Bytes())
 	}
+	for _, comp := range []Compression{{Quant: QuantF16}, {Quant: QuantI8}} {
+		var buf bytes.Buffer
+		if err := NewCodec(comp).Encode(&buf, &Update{Participating: true,
+			Params: []float32{0.25, 0, -3, 0, 0, 0, 0, 0, 0, 0.5}}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte{byte(KindUpdate), 0xFF, 0xFF, 0, 0})
+	f.Add([]byte{byte(KindGlobalModel), 7, 0, 0, 0, 0x04, 10, 2, 1, 1}) // truncated sparse
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		m, err := Decode(bytes.NewReader(raw))
 		if err != nil {
@@ -144,8 +377,8 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode: %v", err)
 		}
-		b1 := appendPayload(nil, m)
-		b2 := appendPayload(nil, m2)
+		b1 := appendPayload(nil, m, Compression{})
+		b2 := appendPayload(nil, m2, Compression{})
 		if !bytes.Equal(b1, b2) {
 			t.Fatalf("decode/encode not idempotent: %x vs %x", b1, b2)
 		}

@@ -143,7 +143,7 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 	const (
 		offset64      = 14695981039346656037 // FNV-1a
 		prime64       = 1099511628211
-		formatVersion = 1
+		formatVersion = 2 // v2: varint/sparse/quantised params blocks, hello quant byte
 	)
 	h := uint64(offset64)
 	mix := func(v uint64) {
@@ -249,7 +249,10 @@ func NewEngine(cfg Config, cluster *device.Cluster, seqs [][]data.ClientTask,
 		serverLinks[i], e.clientLinks[i] = Loopback()
 		e.clients[i] = c
 	}
-	e.server = NewServer(cfg.ServerConfigFor(len(seqs), len(seqs[0])), &WeightedFedAvg{}, serverLinks)
+	// nil aggregator → SparseFedAvg, whose dense path is bitwise identical
+	// to WeightedFedAvg (the old engine default) while streaming sparse
+	// updates in O(active knowledge).
+	e.server = NewServer(cfg.ServerConfigFor(len(seqs), len(seqs[0])), nil, serverLinks)
 	return e
 }
 

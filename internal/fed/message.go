@@ -1,5 +1,7 @@
 package fed
 
+import "repro/internal/tensor"
+
 // Kind discriminates the round-lifecycle message types on a Transport.
 type Kind byte
 
@@ -49,7 +51,15 @@ type Update struct {
 	// Weight is the FedAvg aggregation weight (the client's training-sample
 	// count for the task; zero is treated as one by WeightedFedAvg).
 	Weight float64
+	// Params is the dense parameter vector. Exactly one of Params and Sparse
+	// is set on a participating update.
 	Params []float32
+	// Sparse carries the parameter vector in sparse form — coordinates not
+	// stored are zero. A masked update (ρ-pruned knowledge, a delta against
+	// a shared reference) costs O(active knowledge) to ship and aggregate
+	// instead of O(model); the wire codec also decodes its sparse frames to
+	// this form so the server reduces them without densifying.
+	Sparse *tensor.SparseVec
 	// ComputeSeconds is the simulated device time for this round's local
 	// iterations (work / device throughput).
 	ComputeSeconds float64
@@ -61,6 +71,15 @@ type Update struct {
 
 // Kind identifies the message type.
 func (*Update) Kind() Kind { return KindUpdate }
+
+// ParamLen returns the logical parameter-vector length in either
+// representation (0 for a dropped-out acknowledgement).
+func (u *Update) ParamLen() int {
+	if u.Sparse != nil {
+		return u.Sparse.N
+	}
+	return len(u.Params)
+}
 
 // GlobalModel (server → client) broadcasts the aggregated flat parameter
 // vector to the round's participants. Over LoopbackTransport Params aliases

@@ -1,0 +1,161 @@
+package fed
+
+import "math"
+
+// Quant selects the lossy value encoding of parameter payloads. The default,
+// QuantNone, ships raw IEEE-754 float32 bits and is bit-exact; fp16 and int8
+// trade precision for 2× / 4× fewer bytes on the wire and are therefore
+// opt-in (they change results, so both ends of a link must agree — the Hello
+// handshake enforces it).
+type Quant uint8
+
+// Supported value encodings.
+const (
+	QuantNone Quant = iota
+	QuantF16
+	QuantI8
+)
+
+// String names the mode the way the CLI -compress flag spells it.
+func (q Quant) String() string {
+	switch q {
+	case QuantNone:
+		return "none"
+	case QuantF16:
+		return "fp16"
+	case QuantI8:
+		return "int8"
+	}
+	return "unknown"
+}
+
+// QuantByName parses a -compress flag value.
+func QuantByName(s string) (Quant, bool) {
+	switch s {
+	case "", "none":
+		return QuantNone, true
+	case "fp16":
+		return QuantF16, true
+	case "int8":
+		return QuantI8, true
+	}
+	return QuantNone, false
+}
+
+// valueBytes is the wire size of one encoded value.
+func (q Quant) valueBytes() int {
+	switch q {
+	case QuantF16:
+		return 2
+	case QuantI8:
+		return 1
+	}
+	return 4
+}
+
+// f32ToF16 converts a float32 to IEEE-754 binary16 bits with round-to-
+// nearest-even, the conversion hardware FP units implement. Overflow goes to
+// infinity, underflow to (sub)normal halves or signed zero, NaN payloads keep
+// their top mantissa bits.
+func f32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16((b >> 16) & 0x8000)
+	mag := b & 0x7FFFFFFF
+	if mag > 0x7F800000 { // NaN: preserve top payload bits, force non-zero
+		m := uint16((mag >> 13) & 0x3FF)
+		if m == 0 {
+			m = 0x200
+		}
+		return sign | 0x7C00 | m
+	}
+	if mag == 0x7F800000 { // ±Inf
+		return sign | 0x7C00
+	}
+	e := int32(mag>>23) - 127 + 15
+	m := mag & 0x7FFFFF
+	if e >= 0x1F { // overflow before rounding
+		return sign | 0x7C00
+	}
+	if e <= 0 { // subnormal half or zero
+		if e < -10 {
+			return sign
+		}
+		m |= 0x800000
+		shift := uint32(14 - e)
+		h := uint16(m >> shift)
+		rem := m & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && h&1 == 1) {
+			h++ // may carry into the exponent: that is the smallest normal
+		}
+		return sign | h
+	}
+	h := uint16(e<<10) | uint16(m>>13)
+	rem := m & 0x1FFF
+	if rem > 0x1000 || (rem == 0x1000 && h&1 == 1) {
+		h++ // mantissa carry ripples into the exponent, saturating at Inf
+	}
+	return sign | h
+}
+
+// f16ToF32 converts IEEE-754 binary16 bits to float32 (exact: every half
+// value is representable).
+func f16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	e := uint32(h >> 10 & 0x1F)
+	m := uint32(h & 0x3FF)
+	switch {
+	case e == 0:
+		if m == 0 {
+			return math.Float32frombits(sign)
+		}
+		e = 1
+		for m&0x400 == 0 { // normalise the subnormal
+			m <<= 1
+			e--
+		}
+		m &= 0x3FF
+		return math.Float32frombits(sign | (e+112)<<23 | m<<13)
+	case e == 0x1F:
+		return math.Float32frombits(sign | 0x7F800000 | m<<13)
+	}
+	return math.Float32frombits(sign | (e+112)<<23 | m<<13)
+}
+
+// i8Scale returns the symmetric per-tensor quantisation scale for the values:
+// the maximum finite magnitude mapped to ±127. Zero (or all-NaN) input yields
+// scale 0, which round-trips every value to exact zero.
+func i8Scale(vals []float32) float32 {
+	var maxAbs float32
+	for _, v := range vals {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		// NaN fails both comparisons; +Inf would poison the scale, so clamp
+		// to the largest finite magnitude.
+		if a > maxAbs {
+			if a > math.MaxFloat32 {
+				a = math.MaxFloat32
+			}
+			maxAbs = a
+		}
+	}
+	return maxAbs / 127
+}
+
+// i8Quantize maps a value to its int8 code under the scale (round-to-nearest-
+// even, clamped; NaN maps to 0).
+func i8Quantize(v, scale float32) int8 {
+	if scale == 0 || v != v {
+		return 0
+	}
+	q := math.RoundToEven(float64(v) / float64(scale))
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}

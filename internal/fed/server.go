@@ -9,61 +9,6 @@ import (
 	"repro/internal/tensor"
 )
 
-// Aggregator combines one round's participating client updates into the
-// global flat parameter vector. Implementations receive updates ordered by
-// client ID (the order that makes floating-point aggregation reproducible)
-// and may return a slice aliasing internal scratch: the server guarantees
-// the result is consumed before the next Aggregate call.
-type Aggregator interface {
-	// Name identifies the aggregation rule in reports.
-	Name() string
-	// Aggregate reduces the updates to a global vector, or nil when the
-	// round had no participants.
-	Aggregate(updates []*Update) []float32
-}
-
-// WeightedFedAvg is §III-A's aggregation rule: the sample-count-weighted
-// average of the participants' parameter vectors. A zero weight counts as
-// one so an empty-shard client still participates. The accumulation order
-// (ascending client ID, Axpy then one scale) is part of the contract — it
-// is what keeps results bitwise reproducible across transports and
-// parallelism settings.
-type WeightedFedAvg struct {
-	buf []float32 // global scratch, reused every round
-}
-
-// Name identifies the aggregation rule.
-func (a *WeightedFedAvg) Name() string { return "WeightedFedAvg" }
-
-// Aggregate computes the weighted average into reused scratch.
-func (a *WeightedFedAvg) Aggregate(updates []*Update) []float32 {
-	var total float64
-	var global []float32
-	for _, u := range updates {
-		w := u.Weight
-		if w == 0 {
-			w = 1
-		}
-		total += w
-		if global == nil {
-			if cap(a.buf) < len(u.Params) {
-				a.buf = make([]float32, len(u.Params))
-			}
-			global = a.buf[:len(u.Params)]
-			clear(global)
-		}
-		tensor.AxpySlice(global, float32(w), u.Params)
-	}
-	if global == nil {
-		return nil
-	}
-	inv := float32(1 / total)
-	for i := range global {
-		global[i] *= inv
-	}
-	return global
-}
-
 // RoundStats is the server-side accounting of one finished aggregation
 // round, streamed to the RoundObserver.
 type RoundStats struct {
@@ -126,13 +71,24 @@ type ServerConfig struct {
 	Seed        uint64
 }
 
+// updateMeta is the accounting a round keeps per participating update. The
+// Update itself may alias transport decode buffers, so the scalars the
+// server needs after aggregation are copied out here.
+type updateMeta struct {
+	clientID       int
+	computeSeconds float64
+	upBytes        int64
+	downBytes      int64
+}
+
 // Server is the protocol's round scheduler: it opens rounds, collects
 // updates, delegates to the Aggregator, broadcasts the global model, and
 // keeps the books (simulated clock, traffic, accuracy matrix, evictions).
 type Server struct {
 	cfg     ServerConfig
 	agg     Aggregator
-	links   []Transport // index = client ID
+	stream  StreamAggregator // non-nil when agg reduces incrementally
+	links   []Transport      // index = client ID
 	alive   []bool
 	offline []bool
 	dropRNG *tensor.RNG
@@ -143,12 +99,16 @@ type Server struct {
 	upBytes     int64
 	downBytes   int64
 
-	updates []*Update   // per-round scratch
-	rows    [][]float64 // per-task eval scratch
+	updates []*Update    // per-round scratch (buffered aggregators only)
+	metas   []updateMeta // per-round scratch
+	rows    [][]float64  // per-task eval scratch
 }
 
 // NewServer builds a server over one transport per client. The aggregator
-// defaults to WeightedFedAvg when nil.
+// defaults to SparseFedAvg when nil — the streaming reducer that handles
+// dense updates with WeightedFedAvg's exact arithmetic and sparse updates in
+// O(active knowledge). A StreamAggregator is fed each update as it is
+// decoded; any other Aggregator sees the buffered round.
 func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 	if cfg.NumClients == 0 {
 		cfg.NumClients = len(links)
@@ -157,7 +117,7 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 		panic(fmt.Sprintf("fed: %d transports for %d clients", len(links), cfg.NumClients))
 	}
 	if agg == nil {
-		agg = &WeightedFedAvg{}
+		agg = &SparseFedAvg{}
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -168,6 +128,7 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 		dropRNG: tensor.NewRNG(cfg.Seed ^ 0xD209),
 		rows:    make([][]float64, cfg.NumClients),
 	}
+	s.stream, _ = agg.(StreamAggregator)
 	for i := range s.alive {
 		s.alive[i] = true
 	}
@@ -258,8 +219,17 @@ func (s *Server) runTask(ctx context.Context, taskIdx int, res *Result) error {
 		}
 		// Collect every alive client's update (dropped-out clients send an
 		// empty acknowledgement). Ascending client ID keeps aggregation
-		// order deterministic.
+		// order deterministic. A streaming aggregator folds each update into
+		// the global scratch the moment it is decoded — the server never
+		// buffers per-client parameter vectors, so its hot path costs
+		// O(active knowledge) per update instead of holding O(model ×
+		// clients).
 		s.updates = s.updates[:0]
+		s.metas = s.metas[:0]
+		if s.stream != nil {
+			s.stream.BeginRound()
+		}
+		firstLen := -1
 		for i, t := range s.links {
 			if !s.alive[i] {
 				continue
@@ -281,46 +251,62 @@ func (s *Server) runTask(ctx context.Context, taskIdx int, res *Result) error {
 				// Mismatched vector lengths (a client with a different
 				// model, slipping past the fingerprint check) must fail as
 				// a protocol error, not panic inside the aggregator.
-				if len(s.updates) > 0 && len(u.Params) != len(s.updates[0].Params) {
+				if n := u.ParamLen(); firstLen < 0 {
+					firstLen = n
+				} else if n != firstLen {
 					return fmt.Errorf("fed: client %d sent %d parameters, others sent %d",
-						i, len(u.Params), len(s.updates[0].Params))
+						i, n, firstLen)
 				}
-				s.updates = append(s.updates, u)
+				if s.stream != nil {
+					s.stream.Accumulate(u)
+				} else {
+					s.updates = append(s.updates, u)
+				}
+				s.metas = append(s.metas, updateMeta{
+					clientID: i, computeSeconds: u.ComputeSeconds,
+					upBytes: u.UpBytes, downBytes: u.DownBytes,
+				})
 			}
 		}
 		// Time accounting: synchronous rounds bound by the slowest client.
 		var worstCompute, worstComm float64
 		var roundUp, roundDown int64
-		for _, u := range s.updates {
-			if u.ComputeSeconds > worstCompute {
-				worstCompute = u.ComputeSeconds
+		for _, m := range s.metas {
+			if m.computeSeconds > worstCompute {
+				worstCompute = m.computeSeconds
 			}
-			if t := device.CommTime(u.UpBytes+u.DownBytes, s.cfg.Bandwidth); t > worstComm {
+			if t := device.CommTime(m.upBytes+m.downBytes, s.cfg.Bandwidth); t > worstComm {
 				worstComm = t
 			}
-			roundUp += u.UpBytes
-			roundDown += u.DownBytes
+			roundUp += m.upBytes
+			roundDown += m.downBytes
 		}
 		s.simSeconds += worstCompute + worstComm
 		s.commSeconds += worstComm
 		s.upBytes += roundUp
 		s.downBytes += roundDown
 
-		// Aggregate and broadcast to the round's participants. The global
-		// slice may alias aggregator scratch; every participant acknowledges
-		// (next Update or RoundEnd) before the next Aggregate call rewrites
-		// it, so sharing is safe even over the zero-copy loopback.
-		if global := s.agg.Aggregate(s.updates); global != nil {
+		// Finish the reduction and broadcast to the round's participants.
+		// The global slice may alias aggregator scratch; every participant
+		// acknowledges (next Update or RoundEnd) before the next round
+		// rewrites it, so sharing is safe even over the zero-copy loopback.
+		var global []float32
+		if s.stream != nil {
+			global = s.stream.FinishRound()
+		} else {
+			global = s.agg.Aggregate(s.updates)
+		}
+		if global != nil {
 			gm := &GlobalModel{Params: global}
-			for _, u := range s.updates {
-				if err := s.links[u.ClientID].Send(gm); err != nil {
-					return s.runErr(ctx, fmt.Errorf("fed: global model to client %d: %w", u.ClientID, err))
+			for _, m := range s.metas {
+				if err := s.links[m.clientID].Send(gm); err != nil {
+					return s.runErr(ctx, fmt.Errorf("fed: global model to client %d: %w", m.clientID, err))
 				}
 			}
 		}
 		if s.obs != nil {
 			s.obs.RoundDone(RoundStats{
-				TaskIdx: taskIdx, Round: round, Participants: len(s.updates),
+				TaskIdx: taskIdx, Round: round, Participants: len(s.metas),
 				ComputeSeconds: worstCompute, CommSeconds: worstComm,
 				UpBytes: roundUp, DownBytes: roundDown,
 			})

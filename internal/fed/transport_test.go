@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/device"
@@ -149,6 +150,11 @@ func TestServeRejectsFingerprintMismatch(t *testing.T) {
 // separate process would use).
 func runWire(t *testing.T, cfg Config, cluster *device.Cluster, seqs [][]data.ClientTask,
 	build func(*tensor.RNG) *model.Model, factory Factory) *Result {
+	return runWireWith(t, cfg, cluster, seqs, build, factory, WireOptions{})
+}
+
+func runWireWith(t *testing.T, cfg Config, cluster *device.Cluster, seqs [][]data.ClientTask,
+	build func(*tensor.RNG) *model.Model, factory Factory, opts WireOptions) *Result {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -161,7 +167,7 @@ func runWire(t *testing.T, cfg Config, cluster *device.Cluster, seqs [][]data.Cl
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			tr, err := Dial(addr, id, cfg.Fingerprint())
+			tr, err := DialWith(addr, id, cfg.Fingerprint(), opts)
 			if err != nil {
 				errs[id] = err
 				return
@@ -171,12 +177,12 @@ func runWire(t *testing.T, cfg Config, cluster *device.Cluster, seqs [][]data.Cl
 			errs[id] = c.Run(context.Background(), tr)
 		}(i)
 	}
-	links, err := Serve(ln, len(seqs), cfg.Fingerprint())
+	links, err := ServeWith(ln, len(seqs), cfg.Fingerprint(), opts)
 	ln.Close()
 	if err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	srv := NewServer(cfg.ServerConfigFor(len(seqs), len(seqs[0])), &WeightedFedAvg{}, links)
+	srv := NewServer(cfg.ServerConfigFor(len(seqs), len(seqs[0])), nil, links)
 	res, err := srv.Run(context.Background())
 	if err != nil {
 		t.Fatalf("server run: %v", err)
@@ -256,6 +262,93 @@ func TestWireMatchesLoopbackWithMask(t *testing.T) {
 	loop := NewEngine(cfg, cluster, seqs, build, factory).Run()
 	wire := runWire(t, cfg, cluster, seqs, build, factory)
 	compareResults(t, 3, loop, wire)
+}
+
+// TestWireQuantizedF16Run: an opt-in fp16 wire run is lossy, so it cannot be
+// bit-identical to loopback — but it must complete the protocol and land
+// close to the lossless run (fp16 keeps ~3 decimal digits; small models
+// barely move).
+func TestWireQuantizedF16Run(t *testing.T) {
+	cfg, cluster, seqs, build := tinySetup(26)
+	factory := func(ctx *ClientCtx) Strategy { return &passthrough{ctx: ctx} }
+	loop := NewEngine(cfg, cluster, seqs, build, factory).Run()
+	wire := runWireWith(t, cfg, cluster, seqs, build, factory,
+		WireOptions{Compression: Compression{Quant: QuantF16}})
+	if len(wire.PerTask) != len(loop.PerTask) {
+		t.Fatalf("quantized run incomplete: %d of %d tasks", len(wire.PerTask), len(loop.PerTask))
+	}
+	for i := range loop.PerTask {
+		d := wire.PerTask[i].AvgAccuracy - loop.PerTask[i].AvgAccuracy
+		if d < -0.15 || d > 0.15 {
+			t.Errorf("task %d: fp16 accuracy %v vs lossless %v", i,
+				wire.PerTask[i].AvgAccuracy, loop.PerTask[i].AvgAccuracy)
+		}
+	}
+}
+
+// TestServeRejectsCompressionMismatch: quantisation changes results, so a
+// client that negotiated a different value encoding than the server must be
+// rejected at the handshake with an explicit error.
+func TestServeRejectsCompressionMismatch(t *testing.T) {
+	cfg, _, _, _ := tinySetup(27)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		Dial(ln.Addr().String(), 0, cfg.Fingerprint()) // QuantNone hello
+	}()
+	_, err = ServeWith(ln, 1, cfg.Fingerprint(),
+		WireOptions{Compression: Compression{Quant: QuantI8}})
+	if err == nil {
+		t.Fatal("server accepted a client with mismatched compression")
+	}
+}
+
+// TestWireTimeout: with -wire-timeout deadlines installed, a silent peer
+// turns into a timeout error instead of wedging Recv (and Send, once the
+// peer stops draining) forever.
+func TestWireTimeout(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	tr := NewWireWith(a, WireOptions{Timeout: 50 * time.Millisecond})
+	defer tr.Close()
+	if _, err := tr.Recv(); err == nil {
+		t.Fatal("Recv from a silent peer must time out")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("Recv error %v, want a net timeout", err)
+	}
+	// net.Pipe is unbuffered: a Send nobody reads must also time out.
+	if err := tr.Send(&RoundStart{}); err == nil {
+		t.Fatal("Send to a stalled peer must time out")
+	}
+}
+
+// TestWireByteCounters: the transport's measured traffic must account every
+// frame both ways, and shrink when the payload is mostly zeros (auto-sparse).
+func TestWireByteCounters(t *testing.T) {
+	a, b := net.Pipe()
+	ta, tb := NewWire(a), NewWire(b)
+	defer ta.Close()
+	defer tb.Close()
+	done := make(chan Msg, 1)
+	go func() {
+		m, _ := tb.Recv()
+		done <- m
+	}()
+	params := make([]float32, 1000)
+	params[1] = 2
+	if err := ta.Send(&GlobalModel{Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if ta.BytesSent() == 0 || ta.BytesSent() != tb.BytesRecv() {
+		t.Fatalf("sent %d, peer received %d", ta.BytesSent(), tb.BytesRecv())
+	}
+	if ta.BytesSent() > 64 { // sparse frame: ~13 bytes, dense would be >4000
+		t.Fatalf("mostly-zero broadcast cost %d bytes on the wire", ta.BytesSent())
+	}
 }
 
 // TestWireMatchesLoopbackOOM exercises the eviction path over TCP: a dead

@@ -5,36 +5,76 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
+
+// WireOptions configure one end of a wire link.
+type WireOptions struct {
+	// Compression selects the frame encodings this end emits. The lossless
+	// sparse form is always available (it changes bytes, never values);
+	// quantisation is lossy and must match on both ends — the Hello
+	// handshake rejects a mismatch.
+	Compression Compression
+	// Timeout bounds each Send and Recv when the underlying stream supports
+	// deadlines (net.Conn does): a hung or vanished peer surfaces as a
+	// timeout error instead of wedging the round forever. 0 disables. The
+	// timeout must exceed the longest interval a healthy peer can stay
+	// silent — for a client's Recv, a full round of every client's local
+	// training.
+	Timeout time.Duration
+}
+
+// deadliner is the subset of net.Conn the timeout support needs.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
 
 // WireTransport runs the round lifecycle over a byte stream (normally a TCP
 // net.Conn) using the length-prefixed binary codec, so a federation can span
-// processes and machines. Floats cross the wire as raw IEEE-754 bits: a wire
-// run is bit-identical to a loopback run of the same seed.
+// processes and machines. With the default lossless encoding, floats cross
+// the wire as raw IEEE-754 bits — sparse frames only change how the bits are
+// laid out — and a wire run is bit-identical to a loopback run of the same
+// seed.
 type WireTransport struct {
-	conn    io.ReadWriteCloser
-	bw      *bufio.Writer
-	br      *bufio.Reader
-	scratch []byte        // payload encode buffer, reused every Send
-	dec     decodeScratch // decode buffers, reused every Recv
+	conn  io.ReadWriteCloser
+	dl    deadliner // non-nil when conn supports deadlines
+	opts  WireOptions
+	bw    *bufio.Writer
+	br    *bufio.Reader
+	codec Codec // per-link scratch: encode buffer and decode pools
+
+	sent int64
+	recv int64
 }
 
-// NewWire wraps a connected byte stream in a Transport.
+// NewWire wraps a connected byte stream in a Transport with default options.
 func NewWire(conn io.ReadWriteCloser) *WireTransport {
-	return &WireTransport{
+	return NewWireWith(conn, WireOptions{})
+}
+
+// NewWireWith wraps a connected byte stream with explicit options.
+func NewWireWith(conn io.ReadWriteCloser, opts WireOptions) *WireTransport {
+	w := &WireTransport{
 		conn: conn,
+		opts: opts,
 		bw:   bufio.NewWriterSize(conn, 1<<16),
 		br:   bufio.NewReaderSize(conn, 1<<16),
 	}
+	w.codec.comp = opts.Compression
+	w.dl, _ = conn.(deadliner)
+	return w
 }
 
 // Send encodes and flushes one frame.
 func (w *WireTransport) Send(m Msg) error {
-	buf, err := encodeFrame(w.bw, m, w.scratch)
-	w.scratch = buf
-	if err != nil {
+	if w.dl != nil && w.opts.Timeout > 0 {
+		w.dl.SetWriteDeadline(time.Now().Add(w.opts.Timeout))
+	}
+	if err := w.codec.Encode(w.bw, m); err != nil {
 		return err
 	}
+	w.sent += 5 + int64(len(w.codec.enc))
 	return w.bw.Flush()
 }
 
@@ -45,21 +85,43 @@ func (w *WireTransport) Send(m Msg) error {
 // message before the link's next Recv, mirroring the loopback transport's
 // zero-copy aliasing contract.
 func (w *WireTransport) Recv() (Msg, error) {
-	return decodeWith(w.br, &w.dec)
+	if w.dl != nil && w.opts.Timeout > 0 {
+		w.dl.SetReadDeadline(time.Now().Add(w.opts.Timeout))
+	}
+	m, n, err := w.codec.decodeFrame(w.br)
+	w.recv += int64(n)
+	return m, err
 }
+
+// BytesSent reports the total frame bytes written so far — the measured
+// (post-encoding) wire traffic, as opposed to the protocol's simulated
+// dense-model accounting.
+func (w *WireTransport) BytesSent() int64 { return w.sent }
+
+// BytesRecv reports the total frame bytes read so far.
+func (w *WireTransport) BytesRecv() int64 { return w.recv }
 
 // Close tears down the underlying stream.
 func (w *WireTransport) Close() error { return w.conn.Close() }
 
-// Serve accepts numClients connections on ln, reads each one's Hello
+// Serve accepts numClients connections on ln with default options; see
+// ServeWith.
+func Serve(ln net.Listener, numClients int, fingerprint uint64) ([]Transport, error) {
+	return ServeWith(ln, numClients, fingerprint, WireOptions{})
+}
+
+// ServeWith accepts numClients connections on ln, reads each one's Hello
 // identification frame, and returns the server-side transports indexed by
 // client ID. It is the wire counterpart of building loopback pairs.
 // fingerprint is the server's Config.Fingerprint(): a client whose hello
 // carries a different digest derived its job from different knobs (seed,
 // hyperparameters, …) and is rejected rather than allowed to silently
-// break reproducibility; pass 0 to skip the check. On error every accepted
-// connection is closed, so blocked clients unblock instead of leaking.
-func Serve(ln net.Listener, numClients int, fingerprint uint64) (_ []Transport, err error) {
+// break reproducibility; pass 0 to skip the check. The hello also carries
+// the client's value encoding: quantisation changes results, so a client
+// whose -compress setting differs from the server's is rejected at the
+// handshake with an explicit error. On error every accepted connection is
+// closed, so blocked clients unblock instead of leaking.
+func ServeWith(ln net.Listener, numClients int, fingerprint uint64, opts WireOptions) (_ []Transport, err error) {
 	links := make([]Transport, numClients)
 	defer func() {
 		if err != nil {
@@ -75,7 +137,7 @@ func Serve(ln net.Listener, numClients int, fingerprint uint64) (_ []Transport, 
 		if err != nil {
 			return nil, err
 		}
-		t := NewWire(conn)
+		t := NewWireWith(conn, opts)
 		msg, err := t.Recv()
 		if err != nil {
 			conn.Close()
@@ -95,6 +157,11 @@ func Serve(ln net.Listener, numClients int, fingerprint uint64) (_ []Transport, 
 			return nil, fmt.Errorf("fed: client %d job fingerprint %#x does not match server %#x (different seed/flags?)",
 				hello.clientID, hello.fingerprint, fingerprint)
 		}
+		if hello.quant != opts.Compression.Quant {
+			conn.Close()
+			return nil, fmt.Errorf("fed: client %d negotiated %s compression, server uses %s (pass the same -compress to every process)",
+				hello.clientID, hello.quant, opts.Compression.Quant)
+		}
 		if links[hello.clientID] != nil {
 			conn.Close()
 			return nil, fmt.Errorf("fed: duplicate hello for client %d", hello.clientID)
@@ -104,17 +171,22 @@ func Serve(ln net.Listener, numClients int, fingerprint uint64) (_ []Transport, 
 	return links, nil
 }
 
-// Dial connects to a federation server and identifies as client id,
-// presenting the job fingerprint (Config.Fingerprint(); 0 to opt out) for
-// the server's consistency check. The returned transport is ready for the
-// client's Run loop.
+// Dial connects to a federation server with default options; see DialWith.
 func Dial(addr string, id int, fingerprint uint64) (Transport, error) {
+	return DialWith(addr, id, fingerprint, WireOptions{})
+}
+
+// DialWith connects to a federation server and identifies as client id,
+// presenting the job fingerprint (Config.Fingerprint(); 0 to opt out) and
+// the value encoding for the server's consistency checks. The returned
+// transport is ready for the client's Run loop.
+func DialWith(addr string, id int, fingerprint uint64, opts WireOptions) (Transport, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	t := NewWire(conn)
-	if err := t.Send(&helloMsg{clientID: id, fingerprint: fingerprint}); err != nil {
+	t := NewWireWith(conn, opts)
+	if err := t.Send(&helloMsg{clientID: id, fingerprint: fingerprint, quant: opts.Compression.Quant}); err != nil {
 		conn.Close()
 		return nil, err
 	}

@@ -6,23 +6,18 @@ package prune
 
 import (
 	"fmt"
+
+	"repro/internal/tensor"
 )
 
-// SparseStore holds the retained weights of one task: parallel slices of
-// flat indices (ascending) and values. Memory footprint is 8 bytes per
+// SparseStore holds the retained weights of one task. It is the shared
+// tensor.SparseVec sparse-vector type (parallel slices of ascending flat
+// indices and values), so a store plugs directly into the sparse update
+// pipeline — the wire codec's sparse frames and the server's sparse
+// aggregation kernels — without conversion. Memory footprint is 8 bytes per
 // retained weight versus 4 bytes per weight for the dense model, so ρ = 10%
 // costs one fifth of a full model copy.
-type SparseStore struct {
-	N       int // length of the dense vector this was extracted from
-	Indices []int32
-	Values  []float32
-}
-
-// Bytes returns the approximate memory footprint of the store.
-func (s *SparseStore) Bytes() int { return len(s.Indices)*4 + len(s.Values)*4 }
-
-// Len returns the number of retained weights.
-func (s *SparseStore) Len() int { return len(s.Indices) }
+type SparseStore = tensor.SparseVec
 
 // TopK returns the count of weights a ratio rho selects out of n (at least 1
 // for any positive rho and n).
@@ -153,46 +148,6 @@ func ExtractSegments(w []float32, segments []int, rho float64) *SparseStore {
 		panic(fmt.Sprintf("prune: segments sum %d, want %d", off, len(w)))
 	}
 	return out
-}
-
-// Mask returns a boolean mask over the dense vector with true at retained
-// positions.
-func (s *SparseStore) Mask() []bool {
-	m := make([]bool, s.N)
-	for _, i := range s.Indices {
-		m[i] = true
-	}
-	return m
-}
-
-// PasteInto writes the retained values into dst at their original positions,
-// leaving other coordinates untouched. dst must have the original length.
-func (s *SparseStore) PasteInto(dst []float32) {
-	if len(dst) != s.N {
-		panic(fmt.Sprintf("prune: PasteInto length %d, want %d", len(dst), s.N))
-	}
-	for i, j := range s.Indices {
-		dst[j] = s.Values[i]
-	}
-}
-
-// Densify returns a dense vector with retained values and zeros elsewhere —
-// the knowledge model the gradient restorer forwards through.
-func (s *SparseStore) Densify() []float32 {
-	out := make([]float32, s.N)
-	s.PasteInto(out)
-	return out
-}
-
-// Refresh re-reads the values at the stored indices from a dense vector
-// (used after fine-tuning the retained weights).
-func (s *SparseStore) Refresh(w []float32) {
-	if len(w) != s.N {
-		panic(fmt.Sprintf("prune: Refresh length %d, want %d", len(w), s.N))
-	}
-	for i, j := range s.Indices {
-		s.Values[i] = w[j]
-	}
 }
 
 func abs32(v float32) float32 {
