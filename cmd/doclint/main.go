@@ -1,0 +1,42 @@
+// Command doclint checks that every exported identifier in the given
+// package directories carries a doc comment — the repository's
+// self-contained equivalent of revive's "exported" rule, run in CI next to
+// go vet so the godoc contract on internal/fed and internal/tensor cannot
+// regress.
+//
+// Usage:
+//
+//	doclint ./internal/fed ./internal/tensor
+//
+// Exits non-zero when any finding is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/doclint"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"./internal/fed", "./internal/tensor"}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		findings, err := doclint.Lint(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Printf("%s/%s\n", dir, f)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", bad)
+		os.Exit(1)
+	}
+}

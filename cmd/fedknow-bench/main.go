@@ -6,14 +6,22 @@
 //	fedknow-bench -exp table1 -scale full
 //	fedknow-bench -exp all
 //	fedknow-bench -exp sparse -bench-out BENCH_sparse.json -baseline bench/BENCH_sparse_baseline.json
+//	fedknow-bench -exp async -bench-out BENCH_async.json
 //
 // Experiments: fig4a–fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10,
 // hyper, all — plus "sparse", which measures the sparse update pipeline
 // (bytes/round and encode/decode/aggregate cost, dense vs sparse vs
-// quantized) and emits BENCH_sparse.json; with -baseline it also prints a
-// benchstat-style comparison and fails on byte regressions. Scale "ci"
-// (default) runs the laptop-sized configuration; "full" mirrors the paper's
-// client/round counts and takes hours on CPU.
+// quantized) and emits BENCH_sparse.json (with -baseline it also prints a
+// benchstat-style comparison and fails on byte regressions), and "async",
+// which runs the same federation under the synchronous and asynchronous
+// schedulers with one straggler in the cohort and emits BENCH_async.json
+// (simulated time per global-model commit). Scale "ci" (default) runs the
+// laptop-sized configuration; "full" mirrors the paper's client/round
+// counts and takes hours on CPU.
+//
+// The figure/table experiments also accept the scheduler knobs (-scheduler
+// async -async-commit-k 4 -max-staleness 8 -staleness-alpha 0.5) to
+// regenerate any artefact under asynchronous scheduling.
 package main
 
 import (
@@ -30,19 +38,42 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, sparse, all)")
+	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, sparse, async, all)")
 	scale := flag.String("scale", "ci", "ci or full")
-	benchOut := flag.String("bench-out", "BENCH_sparse.json", "output path for -exp sparse")
+	benchOut := flag.String("bench-out", "", "output path for -exp sparse/async (default BENCH_sparse.json / BENCH_async.json)")
 	baseline := flag.String("baseline", "", "baseline BENCH_sparse.json to compare against (-exp sparse; exits non-zero on byte regressions)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent clients per federated engine (0 = GOMAXPROCS)")
 	kernelThreads := flag.Int("kernel-threads", 0, "extra tensor-kernel workers shared across clients (0 = GOMAXPROCS); training clients also run kernels inline; results are identical for every setting")
 	progress := flag.Bool("progress", false, "stream one line per finished task of every engine run (full-scale runs take hours; this shows they are alive)")
+	scheduler := flag.String("scheduler", "sync", "round-scheduling policy for the figure/table experiments: sync (lockstep, bit-reproducible) or async (staleness-bounded buffered commits)")
+	asyncCommitK := flag.Int("async-commit-k", 0, "async scheduler: commit the global model every K accepted updates (0 = half the cohort)")
+	maxStaleness := flag.Int("max-staleness", 0, "async scheduler: reject updates staler than this many global versions (0 = unbounded)")
+	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
+	if *scheduler != fed.SchedulerSync && *scheduler != fed.SchedulerAsync {
+		fmt.Fprintf(os.Stderr, "unknown -scheduler %q (sync, async)\n", *scheduler)
+		os.Exit(2)
+	}
 
 	if *exp == "sparse" {
-		if err := runSparseBench(*benchOut, *baseline, *seed); err != nil {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_sparse.json"
+		}
+		if err := runSparseBench(out, *baseline, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "async" {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_async.json"
+		}
+		if err := runAsyncBench(out, *seed, *asyncCommitK, *maxStaleness, *stalenessAlpha); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -60,7 +91,9 @@ func main() {
 		os.Exit(2)
 	}
 	opt := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout,
-		Parallelism: *parallel, KernelThreads: *kernelThreads}
+		Parallelism: *parallel, KernelThreads: *kernelThreads,
+		Scheduler: *scheduler, AsyncCommitK: *asyncCommitK,
+		MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha}
 	if *progress {
 		opt.Observer = fed.ObserverFuncs{Task: func(tp fed.TaskPoint) {
 			fmt.Fprintf(os.Stderr, "  · task %d done: avg-acc %.4f, sim-hours %.4f\n",
@@ -131,5 +164,22 @@ func runSparseBench(out, baseline string, seed uint64) error {
 		}
 	}
 	fmt.Printf("### sparse done in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runAsyncBench compares the synchronous and asynchronous schedulers on the
+// same straggler-shaped federation and writes BENCH_async.json.
+func runAsyncBench(out string, seed uint64, commitK, maxStaleness int, alpha float64) error {
+	start := time.Now()
+	fmt.Printf("### running async scheduler bench\n")
+	rep := experiments.AsyncBench(experiments.AsyncBenchOptions{
+		Seed: seed, CommitK: commitK, MaxStaleness: maxStaleness, StalenessAlpha: alpha,
+	})
+	rep.Print(os.Stdout)
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("### async done in %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -22,6 +22,13 @@
 // identical to loopback). -compress fp16|int8 opts into lossy quantisation
 // (2×/4× fewer bytes; all processes must agree), and -wire-timeout bounds
 // each message so a hung peer errors instead of wedging the round.
+//
+// -scheduler async switches the round policy to staleness-bounded buffered
+// asynchrony (see docs/ARCHITECTURE.md and README "Choosing a scheduler"):
+// clients train continuously against the latest committed global, the
+// server commits every -async-commit-k accepted updates, deweights stale
+// updates by 1/(1+staleness)^alpha, rejects those beyond -max-staleness,
+// and a dropped connection evicts that client instead of aborting the run.
 package main
 
 import (
@@ -75,12 +82,24 @@ func main() {
 	connect := flag.String("connect", "", "run as one wire-transport client of the server at this address")
 	clientID := flag.Int("client-id", 0, "this client's ID when using -connect (0 ≤ id < clients)")
 	compress := flag.String("compress", "none", "wire value encoding: none (lossless, bit-exact), fp16 or int8 (lossy, 2x/4x fewer bytes); every process of one run must agree")
-	wireTimeout := flag.Duration("wire-timeout", 0, "per-message wire deadline (e.g. 2m): a hung peer errors instead of wedging the round; 0 disables")
+	wireTimeout := flag.Duration("wire-timeout", 0, "per-message wire deadline (e.g. 2m): a hung peer errors instead of wedging the round; 0 disables; with -scheduler async it must exceed the slowest client's whole task (fast clients idle at the task barrier)")
+	scheduler := flag.String("scheduler", "sync", "round-scheduling policy: sync (lockstep, bit-reproducible) or async (staleness-bounded buffered commits; stragglers no longer stall rounds); every process of one run must agree")
+	asyncCommitK := flag.Int("async-commit-k", 0, "async scheduler: commit the global model every K accepted updates (0 = half the cohort)")
+	maxStaleness := flag.Int("max-staleness", 0, "async scheduler: reject updates staler than this many global versions (0 = unbounded)")
+	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 
 	if *listen != "" && *connect != "" {
 		fmt.Fprintln(os.Stderr, "-listen and -connect are mutually exclusive")
+		os.Exit(2)
+	}
+	if *scheduler != fed.SchedulerSync && *scheduler != fed.SchedulerAsync {
+		fmt.Fprintf(os.Stderr, "unknown -scheduler %q (sync, async)\n", *scheduler)
+		os.Exit(2)
+	}
+	if *scheduler == fed.SchedulerAsync && *dropout > 0 {
+		fmt.Fprintln(os.Stderr, "-scheduler async does not support -dropout (async churn is modelled as eviction on connection loss)")
 		os.Exit(2)
 	}
 	quant, ok := fed.QuantByName(*compress)
@@ -132,6 +151,9 @@ func main() {
 			BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
 			NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: *seed,
 			Parallelism: *parallel, DropoutProb: *dropout,
+			Scheduler: *scheduler,
+			Async: fed.AsyncConfig{CommitEvery: *asyncCommitK,
+				MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha},
 		},
 		wire: fed.WireOptions{
 			Compression: fed.Compression{Quant: quant},
@@ -173,8 +195,12 @@ func (j *job) fingerprint() uint64 {
 
 // banner prints the run header shared by the loopback and server roles.
 func banner(j *job, transport string) {
-	fmt.Printf("%s on %s (%s, %d clients, %d tasks, %s scale, %s transport)\n",
-		j.cfg.Method, j.fam.Name, j.arch, j.clients, j.tasks, j.scale, transport)
+	sched := j.cfg.Scheduler
+	if sched == "" {
+		sched = fed.SchedulerSync
+	}
+	fmt.Printf("%s on %s (%s, %d clients, %d tasks, %s scale, %s transport, %s scheduler)\n",
+		j.cfg.Method, j.fam.Name, j.arch, j.clients, j.tasks, j.scale, transport, sched)
 	fmt.Printf("%-6s %-10s %-10s %-10s %-12s %-12s\n",
 		"task", "avg-acc", "forget", "sim-hours", "up-bytes", "down-bytes")
 }

@@ -1,0 +1,115 @@
+// Package doclint enforces the godoc contract on selected packages: every
+// exported type, function, method, constant and variable must carry a doc
+// comment. It is the repository's self-contained equivalent of revive's
+// "exported" rule (the container ships no third-party linters), wired into
+// CI next to go vet and into the test suite, so the godoc pass over
+// internal/fed and internal/tensor cannot silently regress.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lint parses every non-test Go file in dir and returns one finding per
+// exported declaration that lacks a doc comment, formatted as
+// "file:line: <what>". A const/var/type group documented at the group level
+// counts as documented (the godoc convention).
+func Lint(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s",
+			filepath.Base(p.Filename), p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+						report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// lintGenDecl checks a const/var/type declaration: each exported spec needs
+// its own doc comment unless the enclosing group carries one.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && !(groupDoc && len(d.Specs) == 1) {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "exported %s %s has no doc comment", declKind(d.Tok), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// funcKind labels a FuncDecl for the finding message.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// exportedRecv reports whether d is a plain function or a method whose
+// receiver type is itself exported — methods on unexported types are not
+// part of the package's godoc surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// declKind labels a GenDecl token for the finding message.
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

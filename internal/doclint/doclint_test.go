@@ -1,0 +1,19 @@
+package doclint
+
+import "testing"
+
+// TestFedAndTensorFullyDocumented is the enforcement half of the godoc
+// pass: every exported identifier in internal/fed and internal/tensor must
+// carry a doc comment stating what it is (and, for the protocol seams, its
+// invariants). A new export without documentation fails tier-1.
+func TestFedAndTensorFullyDocumented(t *testing.T) {
+	for _, dir := range []string{"../fed", "../tensor"} {
+		findings, err := Lint(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s/%s", dir, f)
+		}
+	}
+}

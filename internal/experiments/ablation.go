@@ -52,6 +52,7 @@ func Ablation(opt Options) (*AblationResult, error) {
 			BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
 			NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: opt.Seed,
 		}
+		opt.applyScheduler(&cfg)
 		e := fed.NewEngine(cfg, cluster, seqs,
 			builderFor(arch, ds.NumClasses, ds.C, ds.H, ds.W, rt.Width),
 			core.Factory(v.opts))

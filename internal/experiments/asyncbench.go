@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/fed"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// AsyncBenchOptions size the scheduler comparison. The zero value runs the
+// headline configuration: 8 clients of which one is a straggler, so the
+// synchronous round is bound by the slow device while the asynchronous
+// commit loop keeps pace with the fast ones.
+type AsyncBenchOptions struct {
+	// Clients is the cohort size (default 8).
+	Clients int
+	// Straggler is how many times slower the one slow device is (default
+	// 10; 1 disables the straggler).
+	Straggler float64
+	// Tasks / Rounds / LocalIters shape the run (defaults 2 / 6 / 2).
+	Tasks      int
+	Rounds     int
+	LocalIters int
+	// CommitK is the async scheduler's K (default Clients/2).
+	CommitK int
+	// MaxStaleness / StalenessAlpha are the async staleness knobs, passed
+	// through as-is (0 = unbounded / no deweighting, as everywhere else).
+	MaxStaleness   int
+	StalenessAlpha float64
+	Seed           uint64
+}
+
+// SchedulerPoint is one scheduling policy's measurements over the same
+// workload.
+type SchedulerPoint struct {
+	Scheduler string `json:"scheduler"`
+	// Commits is the number of global-model commits over the run (one per
+	// round under sync, one per K accepted updates under async).
+	Commits int `json:"commits"`
+	// SimHours is the simulated wall-clock of the whole run: per-round
+	// worst-participant time under sync, the slowest client's own
+	// accumulated time under async.
+	SimHours float64 `json:"sim_hours"`
+	// SimSecondsPerCommit is the headline metric: simulated seconds of run
+	// time per committed global model — how long edge devices wait between
+	// fresh globals. Deterministic (device model), unlike wall-clock.
+	SimSecondsPerCommit float64 `json:"sim_seconds_per_commit"`
+	// WallMsPerCommit is the host's real milliseconds per commit —
+	// informational only, it varies with CI hardware.
+	WallMsPerCommit float64 `json:"wall_ms_per_commit"`
+	// StaleRejected counts updates dropped by the staleness bound.
+	StaleRejected int `json:"stale_rejected"`
+	// AvgAccuracy is the final task point's average accuracy, to show the
+	// schedulers land in the same quality regime.
+	AvgAccuracy float64 `json:"avg_accuracy"`
+	UpBytes     int64   `json:"up_bytes"`
+}
+
+// AsyncBenchReport is the BENCH_async.json payload: the same federated
+// workload under the synchronous and asynchronous schedulers, with one
+// straggler in the cohort.
+type AsyncBenchReport struct {
+	Clients   int            `json:"clients"`
+	Straggler float64        `json:"straggler_factor"`
+	Tasks     int            `json:"tasks"`
+	Rounds    int            `json:"rounds"`
+	CommitK   int            `json:"commit_k"`
+	Sync      SchedulerPoint `json:"sync"`
+	Async     SchedulerPoint `json:"async"`
+	// SpeedupPerCommit is Sync.SimSecondsPerCommit /
+	// Async.SimSecondsPerCommit — how much faster fresh globals reach the
+	// cohort under asynchronous scheduling.
+	SpeedupPerCommit float64 `json:"speedup_per_commit"`
+}
+
+// AsyncBench runs the same synthetic federation under both schedulers and
+// measures the time per global-model commit. The cohort has one straggler
+// (Straggler× slower device): synchronously every round waits for it;
+// asynchronously it only dilutes one update per K.
+func AsyncBench(opt AsyncBenchOptions) *AsyncBenchReport {
+	if opt.Clients == 0 {
+		opt.Clients = 8
+	}
+	if opt.Straggler == 0 {
+		opt.Straggler = 10
+	}
+	if opt.Tasks == 0 {
+		opt.Tasks = 2
+	}
+	if opt.Rounds == 0 {
+		opt.Rounds = 6
+	}
+	if opt.LocalIters == 0 {
+		opt.LocalIters = 2
+	}
+	if opt.CommitK == 0 {
+		opt.CommitK = opt.Clients / 2
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+
+	ds := data.Generate(data.Config{Name: "asyncbench", NumClasses: 16,
+		TrainPerClass: 12, TestPerClass: 4, C: 3, H: 12, W: 12, Noise: 0.3,
+		Seed: opt.Seed})
+	tasks := data.SplitTasks(ds, opt.Tasks)
+	seqs := data.Federate(tasks, opt.Clients, data.CIAlloc(opt.Seed+1))
+	// 1-straggler-in-N device distribution: client 0 runs on the slow
+	// device, everyone else on the fast one.
+	fast := device.Device{Name: "edge", FLOPS: 1e9, MemBytes: 1 << 40}
+	slow := fast
+	slow.Name = "straggler"
+	slow.FLOPS = fast.FLOPS / opt.Straggler
+	devices := make([]device.Device, opt.Clients)
+	for i := range devices {
+		devices[i] = fast
+	}
+	devices[0] = slow
+	cluster := &device.Cluster{Devices: devices}
+
+	build := func(rng *tensor.RNG) *model.Model {
+		return model.MustBuild("SixCNN", ds.NumClasses, ds.C, ds.H, ds.W, 1, rng)
+	}
+	run := func(sched string) SchedulerPoint {
+		cfg := fed.Config{
+			Method: "FedAvg", Rounds: opt.Rounds, LocalIters: opt.LocalIters,
+			BatchSize: 8, LR: 0.02, LRDecay: 1e-4, NumClasses: ds.NumClasses,
+			Bandwidth: 1 << 20, Seed: opt.Seed, Scheduler: sched,
+		}
+		if sched == fed.SchedulerAsync {
+			cfg.Async = fed.AsyncConfig{
+				CommitEvery:    opt.CommitK,
+				MaxStaleness:   opt.MaxStaleness,
+				StalenessAlpha: opt.StalenessAlpha,
+			}
+		}
+		e := fed.NewEngine(cfg, cluster, seqs, build, MethodFactory("FedAvg", data.CI))
+		p := SchedulerPoint{Scheduler: sched}
+		e.SetObserver(fed.ObserverFuncs{Round: func(s fed.RoundStats) {
+			// A zero-participant RoundStats is the async task-closing
+			// stale-tail report, not a commit — count only real commits.
+			if s.Participants > 0 {
+				p.Commits++
+			}
+			p.StaleRejected += s.Stale
+		}})
+		start := time.Now()
+		res := e.Run()
+		wall := time.Since(start)
+		last := res.PerTask[len(res.PerTask)-1]
+		p.SimHours = last.SimHours
+		p.AvgAccuracy = last.AvgAccuracy
+		p.UpBytes = last.UpBytes
+		if p.Commits > 0 {
+			p.SimSecondsPerCommit = last.SimHours * 3600 / float64(p.Commits)
+			p.WallMsPerCommit = float64(wall.Milliseconds()) / float64(p.Commits)
+		}
+		return p
+	}
+
+	rep := &AsyncBenchReport{
+		Clients: opt.Clients, Straggler: opt.Straggler,
+		Tasks: opt.Tasks, Rounds: opt.Rounds, CommitK: opt.CommitK,
+	}
+	rep.Sync = run(fed.SchedulerSync)
+	rep.Async = run(fed.SchedulerAsync)
+	if rep.Async.SimSecondsPerCommit > 0 {
+		rep.SpeedupPerCommit = rep.Sync.SimSecondsPerCommit / rep.Async.SimSecondsPerCommit
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (r *AsyncBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Print renders the report as an aligned table.
+func (r *AsyncBenchReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "async scheduler bench: %d clients (1 straggler, %gx slower), %d tasks x %d rounds, K=%d\n",
+		r.Clients, r.Straggler, r.Tasks, r.Rounds, r.CommitK)
+	tb := &Table{Title: "time per global-model commit",
+		Header: []string{"scheduler", "commits", "sim-hours", "sim-sec/commit", "wall-ms/commit", "stale-rejected", "avg-acc"}}
+	for _, p := range []SchedulerPoint{r.Sync, r.Async} {
+		tb.Rows = append(tb.Rows, []string{
+			p.Scheduler, fmt.Sprint(p.Commits), fmt.Sprintf("%.4f", p.SimHours),
+			fmt.Sprintf("%.2f", p.SimSecondsPerCommit), fmt.Sprintf("%.1f", p.WallMsPerCommit),
+			fmt.Sprint(p.StaleRejected), fmt.Sprintf("%.4f", p.AvgAccuracy),
+		})
+	}
+	tb.Print(w)
+	fmt.Fprintf(w, "speedup (sim-sec/commit, sync ÷ async): %.2fx\n", r.SpeedupPerCommit)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// TestAsyncBenchStragglerWin is the PR's acceptance bar: under a
+// 1-straggler-in-8 device distribution the asynchronous scheduler must
+// commit global models faster (in simulated time) than the synchronous one,
+// because a lockstep round is bound by the slow device while the buffered
+// commit loop keeps the fast cohort's pace.
+func TestAsyncBenchStragglerWin(t *testing.T) {
+	opt := AsyncBenchOptions{Tasks: 1, Rounds: 4, LocalIters: 1, Seed: 3}
+	if testing.Short() {
+		opt.Rounds = 3
+	}
+	rep := AsyncBench(opt)
+	rep.Print(io.Discard)
+	if rep.Sync.Commits != opt.Tasks*opt.Rounds {
+		t.Fatalf("sync made %d commits, want %d", rep.Sync.Commits, opt.Tasks*opt.Rounds)
+	}
+	if rep.Async.Commits <= rep.Sync.Commits {
+		t.Fatalf("async made %d commits vs sync %d: K=%d of %d clients must commit more often",
+			rep.Async.Commits, rep.Sync.Commits, rep.CommitK, rep.Clients)
+	}
+	if rep.SpeedupPerCommit <= 1 {
+		t.Fatalf("async sim-time per commit (%.2fs) does not beat sync (%.2fs)",
+			rep.Async.SimSecondsPerCommit, rep.Sync.SimSecondsPerCommit)
+	}
+	// The report must round-trip to disk (the CI artifact path).
+	path := filepath.Join(t.TempDir(), "BENCH_async.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -103,6 +103,24 @@ type Options struct {
 	// progress (CLIs print live rows; dashboards can tail a long Full-scale
 	// run). It does not affect results.
 	Observer fed.RoundObserver
+	// Scheduler selects the federation's round-scheduling policy ("sync",
+	// the default, or "async"); it changes results — see fed.Config.
+	Scheduler string
+	// AsyncCommitK / MaxStaleness / StalenessAlpha configure the async
+	// scheduler (fed.AsyncConfig); ignored under the sync scheduler.
+	AsyncCommitK   int
+	MaxStaleness   int
+	StalenessAlpha float64
+}
+
+// applyScheduler copies the scheduling-policy knobs into an engine config.
+func (o Options) applyScheduler(cfg *fed.Config) {
+	cfg.Scheduler = o.Scheduler
+	cfg.Async = fed.AsyncConfig{
+		CommitEvery:    o.AsyncCommitK,
+		MaxStaleness:   o.MaxStaleness,
+		StalenessAlpha: o.StalenessAlpha,
+	}
 }
 
 // tune applies the optional runtime adjustment.

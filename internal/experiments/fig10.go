@@ -72,6 +72,7 @@ func Fig10(opt Options) (*Fig10Result, error) {
 			BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
 			NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: opt.Seed,
 		}
+		opt.applyScheduler(&cfg)
 		e := fed.NewEngine(cfg, cluster, seqs,
 			builderFor(arch, ds.NumClasses, ds.C, ds.H, ds.W, rt.Width), setting.Factory)
 		if opt.Observer != nil {

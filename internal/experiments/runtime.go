@@ -120,6 +120,7 @@ func runOne(method string, opt Options, rt Runtime, cluster clusterLike,
 		NumClasses: numClasses, Bandwidth: rt.Bandwidth, MemScale: rt.MemScale,
 		Seed: opt.Seed, Parallelism: opt.Parallelism,
 	}
+	opt.applyScheduler(&cfg)
 	e := fed.NewEngine(cfg, cluster.cluster(), seqs,
 		builderFor(arch, numClasses, ds.C, ds.H, ds.W, rt.Width),
 		MethodFactory(method, opt.Scale))

@@ -34,6 +34,12 @@ type Client struct {
 	cur     int
 	curTask int
 
+	// baseVersion is the Version of the last GlobalModel this client
+	// installed — the base its next update trains from, reported in
+	// Update.BaseVersion so the asynchronous scheduler can measure
+	// staleness. 0 until the first install (the shared initial model).
+	baseVersion uint64
+
 	// scratch, reused every round/batch
 	flatBuf   []float32
 	mergedBuf []float32
@@ -91,10 +97,16 @@ func (c *Client) Ctx() *ClientCtx { return c.ctx }
 // clean shutdown), the client is evicted for exceeding device memory, or ctx
 // is cancelled. It owns the transport and closes it on every path;
 // cancellation closes it immediately so even a blocking wire Recv unblocks.
+// The loop it speaks follows Config.Scheduler: lockstep rounds for the
+// synchronous scheduler, continuous training with buffered global delivery
+// for the asynchronous one.
 func (c *Client) Run(ctx context.Context, t Transport) error {
 	defer t.Close()
 	stop := context.AfterFunc(ctx, func() { t.Close() })
 	defer stop()
+	if c.cfg.Scheduler == SchedulerAsync {
+		return c.runAsync(ctx, t)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -122,7 +134,7 @@ func (c *Client) Run(ctx context.Context, t Transport) error {
 		}
 		ct := c.seq[rs.TaskIdx]
 		if rs.Participate {
-			if err := c.trainAndUpload(t, ct); err != nil {
+			if err := c.trainAndUpload(t, ct, false); err != nil {
 				return err
 			}
 			if err := c.installGlobal(t, ct); err != nil {
@@ -149,7 +161,13 @@ func (c *Client) Run(ctx context.Context, t Transport) error {
 }
 
 // trainAndUpload runs the round's local iterations and sends the Update.
-func (c *Client) trainAndUpload(t Transport, ct data.ClientTask) error {
+// With detach the sent message owns its memory — a fresh struct and a copy
+// of the parameter vector: the asynchronous client trains on (and rewrites
+// flatBuf and c.upd during) the next round without waiting for the server
+// to consume the zero-copy loopback frame, and the asynchronous server may
+// still be reading (and staleness-reweighting) the previous message when
+// this round ends, so the lockstep aliasing contract protects neither.
+func (c *Client) trainAndUpload(t Transport, ct data.ClientTask, detach bool) error {
 	c.gate(func() {
 		for it := 0; it < c.cfg.LocalIters; it++ {
 			x, labels := c.nextBatch(ct, c.cfg.BatchSize)
@@ -164,18 +182,21 @@ func (c *Client) trainAndUpload(t Transport, ct data.ClientTask) error {
 		Participating:  true,
 		Weight:         float64(len(ct.Train)),
 		Params:         c.flatBuf,
+		BaseVersion:    c.baseVersion,
 		ComputeSeconds: c.dev.TrainTime(work),
 		UpBytes:        int64(c.ctx.Model.ParamBytes() + c.strategy.ExtraUploadBytes()),
 		DownBytes:      int64(c.ctx.Model.ParamBytes() + c.strategy.ExtraDownloadBytes()),
 	}
+	if detach {
+		u := c.upd
+		u.Params = append([]float32(nil), c.flatBuf...)
+		return t.Send(&u)
+	}
 	return t.Send(&c.upd)
 }
 
-// installGlobal receives the aggregated model, installs it (through the
-// strategy's aggregation mask, merging against the client's pre-aggregation
-// parameters), and runs AfterAggregate with the pre-aggregation vector.
-// flatBuf is rewritten next round; strategies that keep the pre-aggregation
-// vector across rounds must copy it.
+// installGlobal receives the aggregated model over the lockstep loop and
+// installs it.
 func (c *Client) installGlobal(t Transport, ct data.ClientTask) error {
 	msg, err := t.Recv()
 	if err != nil {
@@ -185,6 +206,17 @@ func (c *Client) installGlobal(t Transport, ct data.ClientTask) error {
 	if !ok {
 		return fmt.Errorf("fed: client %d got %T, want *GlobalModel", c.ctx.ID, msg)
 	}
+	c.install(gm, ct)
+	return nil
+}
+
+// install applies one GlobalModel: the vector is installed through the
+// strategy's aggregation mask (merging against the client's pre-aggregation
+// parameters), AfterAggregate runs with the pre-aggregation vector, and the
+// client's base version advances to the global's. flatBuf is rewritten next
+// round; strategies that keep the pre-aggregation vector across rounds must
+// copy it.
+func (c *Client) install(gm *GlobalModel, ct data.ClientTask) {
 	global := gm.Params
 	c.gate(func() {
 		mask := c.strategy.AggregateMask()
@@ -205,7 +237,87 @@ func (c *Client) installGlobal(t Transport, ct data.ClientTask) error {
 		}
 		c.strategy.AfterAggregate(c.flatBuf, ct)
 	})
-	return nil
+	c.baseVersion = gm.Version
+}
+
+// runAsync speaks the asynchronous lifecycle: one RoundStart announces a
+// task, then the client trains its Rounds rounds back to back — before each
+// round it installs the freshest committed global that has arrived (skipping
+// the ones it outpaced) without ever blocking — and finally waits for the
+// task-final broadcast, installs it, evaluates, and reports RoundEnd. An
+// inbox goroutine pumps the receive direction so broadcasts queue while the
+// client trains; uploads over loopback are detached copies because the
+// lockstep aliasing contract does not hold here.
+func (c *Client) runAsync(ctx context.Context, t Transport) error {
+	_, wire := t.(*WireTransport)
+	in := newInbox(t, wire)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		msg, err := in.recv()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		rs, ok := msg.(*RoundStart)
+		if !ok {
+			return fmt.Errorf("fed: client %d got %T, want *RoundStart", c.ctx.ID, msg)
+		}
+		if rs.TaskIdx < 0 || rs.TaskIdx >= len(c.seq) {
+			return fmt.Errorf("fed: client %d got task index %d of %d", c.ctx.ID, rs.TaskIdx, len(c.seq))
+		}
+		if rs.TaskIdx != c.curTask {
+			c.order, c.cur = nil, 0
+			c.curTask = rs.TaskIdx
+		}
+		ct := c.seq[rs.TaskIdx]
+		for r := 0; r < c.cfg.Rounds; r++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if gm := in.drainGlobals(); gm != nil {
+				c.install(gm, ct)
+			}
+			if err := c.trainAndUpload(t, ct, !wire); err != nil {
+				return err
+			}
+		}
+		// Task barrier: commits triggered by slower clients may still
+		// arrive; only the task-final broadcast closes the task. The final
+		// global supersedes the skipped intermediates (a full-vector
+		// install), so they are dropped unread.
+		var final *GlobalModel
+		for final == nil {
+			msg, err := in.recv()
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("fed: client %d waiting for task-final global: %w", c.ctx.ID, err)
+			}
+			gm, ok := msg.(*GlobalModel)
+			if !ok {
+				return fmt.Errorf("fed: client %d got %T, want *GlobalModel", c.ctx.ID, msg)
+			}
+			if gm.TaskFinal {
+				final = gm
+			}
+		}
+		c.install(final, ct)
+		re := c.finishTask(ct, rs.TaskIdx)
+		if err := t.Send(re); err != nil {
+			return err
+		}
+		if re.Dead {
+			return nil
+		}
+	}
 }
 
 // finishTask runs the task-end hooks: knowledge extraction, the OOM check

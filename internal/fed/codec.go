@@ -9,8 +9,8 @@ import (
 	"repro/internal/tensor"
 )
 
-// Wire format v2 (all fixed-width integers little-endian, counts unsigned
-// varints):
+// Wire format v3 (all fixed-width integers little-endian, counts unsigned
+// varints; the maintained reference is docs/WIRE_FORMAT.md):
 //
 //	frame   := kind(uint8) length(uint32) payload
 //	payload :=
@@ -19,11 +19,17 @@ import (
 //	              flags: bit0 participate, bit1 taskDone
 //	  Update      clientID(uint32) flags(uint8) weight(float64)
 //	              computeSeconds(float64) upBytes(uint64) downBytes(uint64)
-//	              params
+//	              baseVersion(uvarint) params
 //	              flags: bit0 participating
-//	  GlobalModel params
+//	  GlobalModel version(uvarint) flags(uint8) params
+//	              flags: bit0 taskFinal
 //	  RoundEnd    clientID(uint32) flags(uint8) n(uint64) n×float64
 //	              flags: bit0 dead
+//
+// v3 adds the global-version plumbing the asynchronous scheduler needs
+// (Update.baseVersion, GlobalModel.version/taskFinal); everything else is
+// the v2 layout unchanged. Version fields are uvarints, so a synchronous
+// run pays 1 + 2 extra bytes per round trip at low versions.
 //
 // Parameter vectors travel as a self-describing params block:
 //
@@ -53,6 +59,7 @@ const (
 	flagParticipate = 1 << 0
 	flagTaskDone    = 1 << 1
 	flagDead        = 1 << 0
+	flagTaskFinal   = 1 << 0
 
 	fmtValueMask = 0x03
 	fmtSparse    = 0x04
@@ -212,8 +219,15 @@ func appendPayload(buf []byte, m Msg, comp Compression) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.ComputeSeconds))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.UpBytes))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.DownBytes))
+		buf = binary.AppendUvarint(buf, v.BaseVersion)
 		buf = appendParams(buf, v.Params, v.Sparse, comp)
 	case *GlobalModel:
+		buf = binary.AppendUvarint(buf, v.Version)
+		var flags byte
+		if v.TaskFinal {
+			flags |= flagTaskFinal
+		}
+		buf = append(buf, flags)
 		buf = appendParams(buf, v.Params, nil, comp)
 	case *RoundEnd:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.ClientID))
@@ -628,10 +642,13 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 		m.ComputeSeconds = c.f64()
 		m.UpBytes = int64(c.u64())
 		m.DownBytes = int64(c.u64())
+		m.BaseVersion = c.uvarint()
 		m.Params, m.Sparse = c.params()
 		return c.finish(m)
 	case KindGlobalModel:
 		m := &s.gm
+		version := c.uvarint()
+		taskFinal := c.u8()&flagTaskFinal != 0
 		dense, sp := c.params()
 		if sp != nil {
 			// Clients install the global model as a full vector (mask merge,
@@ -640,7 +657,7 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 			dense = sp.DensifyInto(s.f32)
 			s.f32 = dense
 		}
-		m.Params = dense
+		*m = GlobalModel{Params: dense, Version: version, TaskFinal: taskFinal}
 		return c.finish(m)
 	case KindRoundEnd:
 		m := &s.re

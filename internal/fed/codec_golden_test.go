@@ -9,11 +9,12 @@ import (
 )
 
 // TestCodecGoldenFrames pins the wire format at the byte level: these
-// fixtures are the frozen v2 encodings of representative frames. If one of
-// them changes, the codec changed — bump the Fingerprint formatVersion,
-// regenerate the fixtures deliberately, and expect old and new binaries not
-// to interoperate. An accidental diff here is a protocol break that the
-// round-trip tests alone would not catch.
+// fixtures are the frozen v3 encodings of representative frames (v2 plus
+// the global-version fields the asynchronous scheduler needs — see
+// docs/WIRE_FORMAT.md). If one of them changes, the codec changed — bump
+// the Fingerprint formatVersion, regenerate the fixtures deliberately, and
+// expect old and new binaries not to interoperate. An accidental diff here
+// is a protocol break that the round-trip tests alone would not catch.
 func TestCodecGoldenFrames(t *testing.T) {
 	sparse := &tensor.SparseVec{N: 8, Indices: []int32{1, 2, 7}, Values: []float32{1, -2, 0.5}}
 	cases := []struct {
@@ -36,39 +37,53 @@ func TestCodecGoldenFrames(t *testing.T) {
 			name: "dense update",
 			msg: &Update{ClientID: 1, Participating: true, Weight: 30, ComputeSeconds: 0.25,
 				UpBytes: 1024, DownBytes: 2048, Params: []float32{1, -2, 0.5}},
-			hex:  "023300000001000000010000000000003e40000000000000d03f0004000000000000000800000000000000030000803f000000c00000003f",
+			hex:  "023400000001000000010000000000003e40000000000000d03f000400000000000000080000000000000000030000803f000000c00000003f",
 		},
 		{
 			name: "sparse update",
 			msg:  &Update{ClientID: 2, Participating: true, Weight: 7, Sparse: sparse},
-			hex:  "023700000002000000010000000000001c400000000000000000000000000000000000000000000000000408030100040000803f000000c00000003f",
+			hex:  "023800000002000000010000000000001c40000000000000000000000000000000000000000000000000000408030100040000803f000000c00000003f",
+		},
+		{
+			// BaseVersion is a uvarint: 300 spans two bytes (0xac 0x02).
+			name: "versioned update",
+			msg: &Update{ClientID: 3, Participating: true, Weight: 2, BaseVersion: 300,
+				Params: []float32{1}},
+			hex: "022d00000003000000010000000000000040000000000000000000000000000000000000000000000000ac0200010000803f",
 		},
 		{
 			name: "auto-sparse global model",
 			msg:  &GlobalModel{Params: []float32{0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0}},
-			hex:  "0308000000040c010400004040",
+			hex:  "030a0000000000040c010400004040",
 		},
 		{
 			name: "dense global model",
 			msg:  &GlobalModel{Params: []float32{1, 2, 3}},
-			hex:  "030e00000000030000803f0000004000004040",
+			hex:  "0310000000000000030000803f0000004000004040",
+		},
+		{
+			// Version 129 is the two-byte uvarint 0x81 0x01; flags bit0 is
+			// the taskFinal marker.
+			name: "task-final versioned global model",
+			msg:  &GlobalModel{Params: []float32{1}, Version: 129, TaskFinal: true},
+			hex:  "030900000081010100010000803f",
 		},
 		{
 			name: "f16 global model",
 			comp: Compression{Quant: QuantF16},
 			msg:  &GlobalModel{Params: []float32{1, -2, 65504}},
-			hex:  "03080000000103003c00c0ff7b",
+			hex:  "030a00000000000103003c00c0ff7b",
 		},
 		{
 			name: "i8 sparse update values",
 			comp: Compression{Quant: QuantI8},
 			msg:  &Update{ClientID: 0, Participating: true, Weight: 1, Sparse: sparse},
-			hex:  "02320000000000000001000000000000f03f0000000000000000000000000000000000000000000000000608030402813c010004408120",
+			hex:  "02330000000000000001000000000000f03f000000000000000000000000000000000000000000000000000608030402813c010004408120",
 		},
 		{
 			name: "dropout acknowledgement",
 			msg:  &Update{ClientID: 4},
-			hex:  "0227000000040000000000000000000000000000000000000000000000000000000000000000000000000000",
+			hex:  "022800000004000000000000000000000000000000000000000000000000000000000000000000000000000000",
 		},
 		{
 			name: "round end",

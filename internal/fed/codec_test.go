@@ -274,10 +274,10 @@ func TestCodecQuantizedI8(t *testing.T) {
 	if err := c.Encode(&buf, &GlobalModel{Params: params}); err != nil {
 		t.Fatal(err)
 	}
-	// int8 dense payload: format+n+scale+5 values = 1+1+4+5 = 11 ≤ a third
-	// of the float32 form's 23.
-	if plLen := buf.Len() - 5; plLen != 11 {
-		t.Fatalf("i8 payload %d bytes, want 11", plLen)
+	// int8 dense payload: version+flags+format+n+scale+5 values =
+	// 1+1+1+1+4+5 = 13 ≤ half the float32 form's 25.
+	if plLen := buf.Len() - 5; plLen != 13 {
+		t.Fatalf("i8 payload %d bytes, want 13", plLen)
 	}
 	got, err := Decode(&buf)
 	if err != nil {
@@ -296,6 +296,9 @@ func TestCodecQuantizedI8(t *testing.T) {
 // never panic or over-allocate.
 func TestCodecSparseDecoderBounds(t *testing.T) {
 	sparseFrame := func(body ...byte) []byte {
+		// v3 GlobalModel payload: version(uvarint)=0, flags=0, then the
+		// params block under test.
+		body = append([]byte{0, 0}, body...)
 		frame := append([]byte{byte(KindGlobalModel), 0, 0, 0, 0}, body...)
 		binary.LittleEndian.PutUint32(frame[1:], uint32(len(body)))
 		return frame

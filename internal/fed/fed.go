@@ -123,8 +123,54 @@ type Config struct {
 	// DropoutProb is the per-round probability that a client goes offline
 	// for that round (skips local training and aggregation) — the failure
 	// injection used to check that FedAvg-style protocols tolerate edge
-	// churn. 0 disables dropout.
+	// churn. 0 disables dropout. Only the synchronous scheduler supports it
+	// (the asynchronous scheduler models churn as eviction on transport
+	// failure instead); NewServer rejects the combination.
 	DropoutProb float64
+	// Scheduler selects the round-scheduling policy: SchedulerSync (or the
+	// empty string) for the lockstep loop, SchedulerAsync for the
+	// staleness-bounded buffered-asynchronous policy. Every process of one
+	// run must agree — the scheduler changes results, so it is part of the
+	// job fingerprint.
+	Scheduler string
+	// Async configures the asynchronous scheduler; ignored when Scheduler is
+	// sync. See AsyncConfig for the defaults applied to zero fields.
+	Async AsyncConfig
+}
+
+// Scheduler policy names accepted by Config.Scheduler and
+// ServerConfig.Scheduler.
+const (
+	// SchedulerSync is the lockstep policy: every round waits for every
+	// alive client (the empty string means the same and is the default).
+	SchedulerSync = "sync"
+	// SchedulerAsync is the staleness-bounded buffered-asynchronous policy
+	// (FedBuff style): clients train continuously against the latest
+	// committed global and the server commits every Async.CommitEvery
+	// accepted updates.
+	SchedulerAsync = "async"
+)
+
+// AsyncConfig are the asynchronous scheduler's knobs. The zero value is
+// usable: every field has a documented default applied by NewServer.
+type AsyncConfig struct {
+	// CommitEvery (the CLI's -async-commit-k) is K, the number of accepted
+	// updates buffered per global-model commit. 0 defaults to half the
+	// cohort (minimum 1). K = cohort size with no stragglers reproduces the
+	// synchronous scheduler's per-round accounting.
+	CommitEvery int
+	// MaxStaleness (-max-staleness) rejects an update whose staleness —
+	// current global version minus the update's BaseVersion — exceeds the
+	// bound: the update is dropped from aggregation (its traffic and device
+	// time still count; the client's training continues). 0 disables the
+	// bound.
+	MaxStaleness int
+	// StalenessAlpha (-staleness-alpha) is α in the staleness weight
+	// 1/(1+staleness)^α that scales an accepted update's aggregation weight
+	// down the longer it trained against an old global. 0 means no
+	// deweighting; fresh updates (staleness 0) are never deweighted at any
+	// α.
+	StalenessAlpha float64
 }
 
 // Fingerprint digests every result-affecting knob of the configuration (and
@@ -143,7 +189,7 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 	const (
 		offset64      = 14695981039346656037 // FNV-1a
 		prime64       = 1099511628211
-		formatVersion = 2 // v2: varint/sparse/quantised params blocks, hello quant byte
+		formatVersion = 3 // v3: global-version fields (async scheduler plumbing)
 	)
 	h := uint64(offset64)
 	mix := func(v uint64) {
@@ -170,6 +216,14 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 	mix(math.Float64bits(cfg.MemScale))
 	mix(cfg.Seed)
 	mix(math.Float64bits(cfg.DropoutProb))
+	sched := cfg.Scheduler
+	if sched == "" {
+		sched = SchedulerSync
+	}
+	mixStr(sched)
+	mix(uint64(cfg.Async.CommitEvery))
+	mix(uint64(cfg.Async.MaxStaleness))
+	mix(math.Float64bits(cfg.Async.StalenessAlpha))
 	for _, s := range extra {
 		mixStr(s)
 	}
@@ -189,6 +243,8 @@ func (cfg Config) ServerConfigFor(numClients, numTasks int) ServerConfig {
 		Bandwidth:   cfg.Bandwidth,
 		DropoutProb: cfg.DropoutProb,
 		Seed:        cfg.Seed,
+		Scheduler:   cfg.Scheduler,
+		Async:       cfg.Async,
 	}
 }
 
@@ -241,12 +297,22 @@ func NewEngine(cfg Config, cluster *device.Cluster, seqs [][]data.ClientTask,
 		clientLinks: make([]Transport, len(seqs)),
 	}
 	serverLinks := make([]Transport, len(seqs))
+	// The lockstep protocol never has more than two messages in flight per
+	// link, but the asynchronous scheduler sends without waiting (every
+	// commit broadcast can queue behind a training client, and a client
+	// uploads its whole task without pausing), so its loopback links get
+	// capacity for a task's worst case — Rounds uploads per client and one
+	// commit per update — to keep both endpoints non-blocking.
+	bufCap := loopbackCap
+	if cfg.Scheduler == SchedulerAsync {
+		bufCap = cfg.Rounds*len(seqs) + 4
+	}
 	for i, seq := range seqs {
 		rng := root.Fork(uint64(i) + 1)
 		c := newClient(cfg, i, len(seqs), cluster.Devices[i%cluster.Size()], seq,
 			build, factory, rng, refFlat)
 		c.sem = sem
-		serverLinks[i], e.clientLinks[i] = Loopback()
+		serverLinks[i], e.clientLinks[i] = LoopbackCap(bufCap)
 		e.clients[i] = c
 	}
 	// nil aggregator → SparseFedAvg, whose dense path is bitwise identical

@@ -431,15 +431,18 @@ func TestEngineContextCancel(t *testing.T) {
 }
 
 // TestEngineDeterministicAcrossParallelism is the acceptance bar for the
-// parallel kernel layer: a full multi-task run must produce bitwise-identical
+// parallel kernel layer and (since the Scheduler seam) for the extracted
+// SyncScheduler: a full multi-task run must produce bitwise-identical
 // client parameters and accuracy matrices for every combination of client
-// parallelism and kernel thread count.
+// parallelism and kernel thread count, whether the lockstep policy is
+// selected implicitly (Scheduler "") or explicitly ("sync").
 func TestEngineDeterministicAcrossParallelism(t *testing.T) {
 	defer tensor.SetKernelThreads(0)
-	run := func(par, threads int) ([]float32, []float64) {
+	run := func(par, threads int, sched string) ([]float32, []float64) {
 		tensor.SetKernelThreads(threads)
 		cfg, cluster, seqs, build := tinySetup(5)
 		cfg.Parallelism = par
+		cfg.Scheduler = sched
 		var clients []*passthrough
 		e := NewEngine(cfg, cluster, seqs, build, func(ctx *ClientCtx) Strategy {
 			p := &passthrough{ctx: ctx}
@@ -459,20 +462,27 @@ func TestEngineDeterministicAcrossParallelism(t *testing.T) {
 		}
 		return params, accs
 	}
-	refParams, refAccs := run(1, 1)
-	for _, combo := range [][2]int{{4, 1}, {1, 4}, {4, 8}, {16, 16}} {
-		params, accs := run(combo[0], combo[1])
+	refParams, refAccs := run(1, 1, "")
+	combos := []struct {
+		par, threads int
+		sched        string
+	}{
+		{4, 1, ""}, {1, 4, ""}, {4, 8, ""}, {16, 16, ""},
+		{1, 1, SchedulerSync}, {4, 8, SchedulerSync},
+	}
+	for _, combo := range combos {
+		params, accs := run(combo.par, combo.threads, combo.sched)
 		if len(params) != len(refParams) {
-			t.Fatalf("parallelism %v: param count %d vs %d", combo, len(params), len(refParams))
+			t.Fatalf("combo %v: param count %d vs %d", combo, len(params), len(refParams))
 		}
 		for i := range params {
 			if params[i] != refParams[i] {
-				t.Fatalf("parallelism %v: param[%d] = %v, want %v", combo, i, params[i], refParams[i])
+				t.Fatalf("combo %v: param[%d] = %v, want %v", combo, i, params[i], refParams[i])
 			}
 		}
 		for i := range accs {
 			if accs[i] != refAccs[i] {
-				t.Fatalf("parallelism %v: acc[%d] = %v, want %v", combo, i, accs[i], refAccs[i])
+				t.Fatalf("combo %v: acc[%d] = %v, want %v", combo, i, accs[i], refAccs[i])
 			}
 		}
 	}

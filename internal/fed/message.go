@@ -60,6 +60,13 @@ type Update struct {
 	// instead of O(model); the wire codec also decodes its sparse frames to
 	// this form so the server reduces them without densifying.
 	Sparse *tensor.SparseVec
+	// BaseVersion is the version of the global model the client trained this
+	// update from (the Version of the last GlobalModel it installed; 0 before
+	// any install — the shared initial model). The synchronous scheduler
+	// ignores it; the asynchronous scheduler uses it to compute the update's
+	// staleness (current global version − BaseVersion) for staleness
+	// weighting and the -max-staleness rejection bound.
+	BaseVersion uint64
 	// ComputeSeconds is the simulated device time for this round's local
 	// iterations (work / device throughput).
 	ComputeSeconds float64
@@ -82,11 +89,26 @@ func (u *Update) ParamLen() int {
 }
 
 // GlobalModel (server → client) broadcasts the aggregated flat parameter
-// vector to the round's participants. Over LoopbackTransport Params aliases
-// the aggregator's scratch, which is only rewritten after every participant
-// has acknowledged the round.
+// vector. Under the synchronous scheduler it goes to the round's
+// participants and Params may alias aggregator scratch over
+// LoopbackTransport, which is only rewritten after every participant has
+// acknowledged the round. Under the asynchronous scheduler every commit is
+// broadcast to every alive client and Params is a per-commit copy that is
+// never mutated afterwards (versioned commit buffers), so frames queued
+// behind a training client stay intact.
 type GlobalModel struct {
 	Params []float32
+	// Version is the global model's commit version: 0 for the shared initial
+	// model, incremented by one at every aggregation commit. Versions are
+	// monotone over a run (they do not reset at task boundaries).
+	Version uint64
+	// TaskFinal marks the task's closing broadcast under the asynchronous
+	// scheduler: after installing it the client evaluates and replies
+	// RoundEnd. It re-announces the latest committed version, so a TaskFinal
+	// frame may repeat the Version of the preceding commit. Always false
+	// under the synchronous scheduler (lockstep clients use
+	// RoundStart.TaskDone instead).
+	TaskFinal bool
 }
 
 // Kind identifies the message type.

@@ -1,0 +1,217 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Scheduler is the server's round-scheduling policy: it decides when clients
+// train, when their updates are aggregated, and when the global model is
+// committed and broadcast. The Server owns the books (simulated clock,
+// traffic, accuracy matrix, evictions) and the seams below it (Aggregator,
+// Transport); the scheduler owns the control flow between them.
+//
+// Contract (documented in full in docs/ARCHITECTURE.md):
+//   - RunTask drives every aggregation round of one task over the server's
+//     transports and must leave the server's accounting fields (simSeconds,
+//     commSeconds, upBytes, downBytes) and the result's accuracy matrix row
+//     for taskIdx up to date before returning.
+//   - RunTask is called once per task, in ascending task order, from one
+//     goroutine; a scheduler may keep state across tasks (the global model
+//     version is monotone over the run).
+//   - Cancelling ctx must abort the task; RunTask returns the context's
+//     error and the server tears the transports down.
+//   - Close releases scheduler-owned resources (reader goroutines); the
+//     server calls it exactly once, after the transports are closed.
+type Scheduler interface {
+	// Name identifies the scheduling policy in reports.
+	Name() string
+	// RunTask drives every aggregation round of task taskIdx.
+	RunTask(ctx context.Context, srv *Server, taskIdx int, res *Result) error
+	// Close releases scheduler-owned resources after the run.
+	Close()
+}
+
+// SyncScheduler is the lockstep policy — §III-A's synchronous federated
+// round, and the protocol's default. Every round opens with a RoundStart to
+// every alive client, collects every alive client's Update in ascending
+// client ID (the order that makes floating-point aggregation reproducible),
+// commits exactly one global model, and broadcasts it to the round's
+// participants. A slow client therefore bounds the whole round — that is
+// the latency price of its bitwise reproducibility across parallelism
+// settings and transports.
+type SyncScheduler struct{}
+
+// Name identifies the scheduling policy.
+func (*SyncScheduler) Name() string { return SchedulerSync }
+
+// Close is a no-op: the lockstep policy owns no goroutines.
+func (*SyncScheduler) Close() {}
+
+// RunTask schedules the r aggregation rounds of one task.
+func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, res *Result) error {
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		taskDone := round == s.cfg.Rounds-1
+		// Failure injection: each client may drop out of this round. The
+		// draw order (ascending client ID, no draw for dead clients) is part
+		// of the reproducibility contract.
+		anyOnline := false
+		for i := range s.links {
+			s.offline[i] = s.alive[i] && s.cfg.DropoutProb > 0 && s.dropRNG.Float64() < s.cfg.DropoutProb
+			if s.alive[i] && !s.offline[i] {
+				anyOnline = true
+			}
+		}
+		if !anyOnline {
+			// Keep the protocol alive: at least one participant per round.
+			for i := range s.links {
+				if s.alive[i] {
+					s.offline[i] = false
+					break
+				}
+			}
+		}
+		for i, t := range s.links {
+			if !s.alive[i] {
+				continue
+			}
+			rs := &RoundStart{TaskIdx: taskIdx, Round: round, Participate: !s.offline[i], TaskDone: taskDone}
+			if err := t.Send(rs); err != nil {
+				return s.runErr(ctx, fmt.Errorf("fed: round start to client %d: %w", i, err))
+			}
+		}
+		// Collect every alive client's update (dropped-out clients send an
+		// empty acknowledgement). Ascending client ID keeps aggregation
+		// order deterministic. A streaming aggregator folds each update into
+		// the global scratch the moment it is decoded — the server never
+		// buffers per-client parameter vectors, so its hot path costs
+		// O(active knowledge) per update instead of holding O(model ×
+		// clients).
+		s.updates = s.updates[:0]
+		s.metas = s.metas[:0]
+		if s.stream != nil {
+			s.stream.BeginRound()
+		}
+		firstLen := -1
+		for i, t := range s.links {
+			if !s.alive[i] {
+				continue
+			}
+			msg, err := t.Recv()
+			if err != nil {
+				return s.runErr(ctx, fmt.Errorf("fed: update from client %d: %w", i, err))
+			}
+			u, ok := msg.(*Update)
+			if !ok {
+				return fmt.Errorf("fed: client %d sent %T, want *Update", i, msg)
+			}
+			// The ID routes the GlobalModel broadcast, so a wire client must
+			// not be able to impersonate (or index-out-of-range) another link.
+			if u.ClientID != i {
+				return fmt.Errorf("fed: link %d sent update claiming client %d", i, u.ClientID)
+			}
+			if u.Participating {
+				// Mismatched vector lengths (a client with a different
+				// model, slipping past the fingerprint check) must fail as
+				// a protocol error, not panic inside the aggregator.
+				if n := u.ParamLen(); firstLen < 0 {
+					firstLen = n
+				} else if n != firstLen {
+					return fmt.Errorf("fed: client %d sent %d parameters, others sent %d",
+						i, n, firstLen)
+				}
+				if s.stream != nil {
+					s.stream.Accumulate(u)
+				} else {
+					s.updates = append(s.updates, u)
+				}
+				s.metas = append(s.metas, updateMeta{
+					clientID: i, computeSeconds: u.ComputeSeconds,
+					upBytes: u.UpBytes, downBytes: u.DownBytes,
+				})
+			}
+		}
+		// Time accounting: synchronous rounds bound by the slowest client.
+		var worstCompute, worstComm float64
+		var roundUp, roundDown int64
+		for _, m := range s.metas {
+			if m.computeSeconds > worstCompute {
+				worstCompute = m.computeSeconds
+			}
+			if t := device.CommTime(m.upBytes+m.downBytes, s.cfg.Bandwidth); t > worstComm {
+				worstComm = t
+			}
+			roundUp += m.upBytes
+			roundDown += m.downBytes
+		}
+		s.simSeconds += worstCompute + worstComm
+		s.commSeconds += worstComm
+		s.upBytes += roundUp
+		s.downBytes += roundDown
+
+		// Finish the reduction and broadcast to the round's participants.
+		// The global slice may alias aggregator scratch; every participant
+		// acknowledges (next Update or RoundEnd) before the next round
+		// rewrites it, so sharing is safe even over the zero-copy loopback.
+		var global []float32
+		if s.stream != nil {
+			global = s.stream.FinishRound()
+		} else {
+			global = s.agg.Aggregate(s.updates)
+		}
+		if global != nil {
+			s.version++
+			gm := &GlobalModel{Params: global, Version: s.version}
+			for _, m := range s.metas {
+				if err := s.links[m.clientID].Send(gm); err != nil {
+					return s.runErr(ctx, fmt.Errorf("fed: global model to client %d: %w", m.clientID, err))
+				}
+			}
+		}
+		if s.obs != nil {
+			s.obs.RoundDone(RoundStats{
+				TaskIdx: taskIdx, Round: round, Participants: len(s.metas),
+				Version:        s.version,
+				ComputeSeconds: worstCompute, CommSeconds: worstComm,
+				UpBytes: roundUp, DownBytes: roundDown,
+			})
+		}
+		if taskDone {
+			if err := sc.collectRoundEnds(ctx, s, taskIdx, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectRoundEnds gathers every alive client's task report: eviction flags
+// first, then the accuracy-matrix row averaged over the survivors.
+func (sc *SyncScheduler) collectRoundEnds(ctx context.Context, s *Server, taskIdx int, res *Result) error {
+	for i := range s.rows {
+		s.rows[i] = nil
+	}
+	for i, t := range s.links {
+		if !s.alive[i] {
+			continue
+		}
+		msg, err := t.Recv()
+		if err != nil {
+			return s.runErr(ctx, fmt.Errorf("fed: round end from client %d: %w", i, err))
+		}
+		re, ok := msg.(*RoundEnd)
+		if !ok {
+			return fmt.Errorf("fed: client %d sent %T, want *RoundEnd", i, msg)
+		}
+		if err := s.handleRoundEnd(i, re, taskIdx, res); err != nil {
+			return err
+		}
+	}
+	s.fillMatrixRow(taskIdx, res)
+	return nil
+}

@@ -1,0 +1,434 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/device"
+)
+
+// schedEvent is one message (or terminal transport error) delivered by a
+// link's reader goroutine to the asynchronous scheduler's event loop.
+type schedEvent struct {
+	id  int
+	msg Msg
+	err error
+}
+
+// AsyncScheduler is the staleness-bounded buffered-asynchronous policy
+// (FedBuff style). Clients train continuously against the latest committed
+// global model — nobody waits for a straggler — and the server folds each
+// arriving Update into the streaming aggregator the moment it is decoded,
+// committing a new global version every CommitEvery (K) accepted updates
+// and broadcasting it to every alive client. Each update is stamped with
+// the global version it trained from (Update.BaseVersion); its staleness —
+// committed version minus base version — scales its aggregation weight by
+// 1/(1+staleness)^α, and updates staler than MaxStaleness are rejected
+// outright (their traffic and device time still count; the client keeps
+// training).
+//
+// What the policy deliberately relaxes, and what it keeps (see
+// docs/ARCHITECTURE.md for the full contract):
+//
+//   - Relaxed: bitwise run-level reproducibility. Commits fold updates in
+//     arrival order, and arrival order depends on real scheduling, so two
+//     async runs of the same seed may differ — that is inherent to
+//     asynchrony, not an implementation accident.
+//   - Kept: version monotonicity (every commit increments the global
+//     version exactly once), the staleness bound (no update older than
+//     MaxStaleness is ever folded), ID-integrity (impersonated updates
+//     abort), parameter-length agreement, and the aggregator's invariant
+//     that an Update is only read for the duration of Accumulate.
+//   - Kept: accounting equivalence at the boundary — with K = cohort size
+//     and no stragglers, per-commit participant counts, traffic and the
+//     simulated clock reproduce the synchronous scheduler's per-round
+//     accounting.
+//
+// A dropped transport does not abort the run: the client is evicted, logged
+// through ServerConfig.Logf, and the survivors keep scheduling (rejoin is
+// future work — see ROADMAP).
+type AsyncScheduler struct {
+	commitK  int
+	maxStale int
+	alpha    float64
+
+	started bool
+	events  chan schedEvent
+	acks    []chan struct{}
+	stop    chan struct{}
+	readers sync.WaitGroup
+
+	// Per-client simulated clocks: each client accumulates its own compute
+	// and communication time instead of being bound by the round's slowest
+	// participant — the asynchronous clock model. The run's SimHours is the
+	// maximum over clients.
+	clocks     []float64
+	commClocks []float64
+
+	// global is the latest committed global model. Every commit copies the
+	// aggregator's scratch into a fresh buffer (a "versioned commit
+	// buffer") before broadcasting: zero-copy loopback frames queued behind
+	// a training client must never be mutated by a later commit, and the
+	// aggregator's double buffering only protects one round of lag.
+	global []float32
+
+	paramLen int // agreed parameter-vector length (0 until the first update)
+
+	// current commit window
+	buffered     int // accepted updates in the window
+	staleCount   int // rejected-by-staleness updates in the window
+	commitIdx    int // commit ordinal within the current task
+	worstCompute float64
+	worstComm    float64
+	windowUp     int64
+	windowDown   int64
+
+	updatesSeen []int // per-client uploads received this task
+}
+
+// newAsyncScheduler resolves the async knobs' defaults against the cohort
+// size. CommitEvery 0 → half the cohort (minimum 1).
+func newAsyncScheduler(cfg ServerConfig) *AsyncScheduler {
+	k := cfg.Async.CommitEvery
+	if k <= 0 {
+		k = cfg.NumClients / 2
+		if k < 1 {
+			k = 1
+		}
+	}
+	return &AsyncScheduler{
+		commitK:  k,
+		maxStale: cfg.Async.MaxStaleness,
+		alpha:    cfg.Async.StalenessAlpha,
+		stop:     make(chan struct{}),
+	}
+}
+
+// Name identifies the scheduling policy.
+func (*AsyncScheduler) Name() string { return SchedulerAsync }
+
+// Close releases the reader goroutines and waits for them to exit, so no
+// reader still touches a transport (e.g. WireTransport's byte counters)
+// after the server's Run returns. Blocked readers unblock through the stop
+// channel and through the server having closed every transport first.
+func (a *AsyncScheduler) Close() {
+	if a.started {
+		close(a.stop)
+		a.readers.Wait()
+	}
+}
+
+// start launches one reader goroutine per link. Readers deliver each
+// received message to the shared event channel and then wait for the event
+// loop's acknowledgement before the next Recv: a decoded message may alias
+// the transport's reusable decode buffers, so the reader must not decode
+// ahead while the event loop still reads the previous message. A terminal
+// error is delivered without waiting (the events channel has one slot per
+// reader, so shutdown never blocks a reader that nobody is draining).
+func (a *AsyncScheduler) start(s *Server) {
+	a.started = true
+	a.events = make(chan schedEvent, len(s.links))
+	a.acks = make([]chan struct{}, len(s.links))
+	a.clocks = make([]float64, len(s.links))
+	a.commClocks = make([]float64, len(s.links))
+	a.updatesSeen = make([]int, len(s.links))
+	for i, t := range s.links {
+		a.acks[i] = make(chan struct{}, 1)
+		a.readers.Add(1)
+		go func(id int, t Transport) {
+			defer a.readers.Done()
+			for {
+				m, err := t.Recv()
+				select {
+				case a.events <- schedEvent{id: id, msg: m, err: err}:
+				case <-a.stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+				select {
+				case <-a.acks[id]:
+				case <-a.stop:
+					return
+				}
+			}
+		}(i, t)
+	}
+}
+
+// RunTask drives one task asynchronously: announce the task, fold uploads
+// as they arrive (committing every K accepted), flush the residual buffer
+// once every alive client has uploaded Rounds updates, broadcast the
+// task-final global, and collect the RoundEnd reports.
+func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, res *Result) error {
+	if !a.started {
+		a.start(s)
+	}
+	for i := range a.updatesSeen {
+		a.updatesSeen[i] = 0
+	}
+	for i := range s.rows {
+		s.rows[i] = nil
+	}
+	a.commitIdx = 0
+	a.resetWindow()
+	s.stream.BeginRound()
+
+	// One RoundStart per task: the client paces its own Rounds uploads.
+	rs := &RoundStart{TaskIdx: taskIdx, Round: 0, Participate: true, TaskDone: true}
+	for i, t := range s.links {
+		if !s.alive[i] {
+			continue
+		}
+		if err := t.Send(rs); err != nil {
+			a.evict(s, res, taskIdx, i, err)
+		}
+	}
+	if s.AliveClients() == 0 {
+		return fmt.Errorf("fed: async: all clients lost at task %d", taskIdx)
+	}
+
+	// Collect phase: every alive client owes Rounds uploads.
+	for !a.allUploaded(s) {
+		ev, err := a.nextEvent(ctx)
+		if err != nil {
+			return err
+		}
+		if !s.alive[ev.id] {
+			// A message can race its sender's eviction; drop it, but ack so
+			// the reader runs on to its terminal error.
+			if ev.err == nil {
+				a.acks[ev.id] <- struct{}{}
+			}
+			continue
+		}
+		if ev.err != nil {
+			a.evict(s, res, taskIdx, ev.id, ev.err)
+			if s.AliveClients() == 0 {
+				return fmt.Errorf("fed: async: all clients lost at task %d", taskIdx)
+			}
+			continue
+		}
+		u, ok := ev.msg.(*Update)
+		if !ok {
+			return fmt.Errorf("fed: async: client %d sent %T, want *Update", ev.id, ev.msg)
+		}
+		if err := a.handleUpdate(s, taskIdx, ev.id, u); err != nil {
+			return err
+		}
+		a.acks[ev.id] <- struct{}{}
+	}
+
+	// Flush the residual window so no accepted training is lost — also when
+	// it holds only staleness rejections, so the observer's Stale counts
+	// cover the task's tail (an empty flush bumps no version and broadcasts
+	// nothing). Then close the task with the final broadcast every
+	// surviving client blocks on.
+	if a.buffered > 0 || a.staleCount > 0 {
+		a.commit(s, taskIdx)
+	}
+	final := &GlobalModel{Params: a.global, Version: s.version, TaskFinal: true}
+	for i, t := range s.links {
+		if !s.alive[i] {
+			continue
+		}
+		if err := t.Send(final); err != nil {
+			a.evict(s, res, taskIdx, i, err)
+		}
+	}
+
+	// Finish phase: gather RoundEnd reports from the survivors. reported
+	// keeps the books straight when a connection drops after its client
+	// already delivered RoundEnd: that client completed the task (its row
+	// stands, pending already moved on), so the eviction must not
+	// decrement pending a second time and cut the remaining survivors'
+	// reports off.
+	reported := make([]bool, len(s.links))
+	pending := s.AliveClients()
+	for pending > 0 {
+		ev, err := a.nextEvent(ctx)
+		if err != nil {
+			return err
+		}
+		if !s.alive[ev.id] {
+			if ev.err == nil {
+				a.acks[ev.id] <- struct{}{}
+			}
+			continue
+		}
+		if ev.err != nil {
+			a.evict(s, res, taskIdx, ev.id, ev.err)
+			if !reported[ev.id] {
+				pending--
+			}
+			continue
+		}
+		re, ok := ev.msg.(*RoundEnd)
+		if !ok {
+			return fmt.Errorf("fed: async: client %d sent %T, want *RoundEnd", ev.id, ev.msg)
+		}
+		if err := s.handleRoundEnd(ev.id, re, taskIdx, res); err != nil {
+			return err
+		}
+		reported[ev.id] = true
+		pending--
+		a.acks[ev.id] <- struct{}{}
+	}
+	s.fillMatrixRow(taskIdx, res)
+
+	// Asynchronous clock model: the task is done when the slowest client's
+	// own accumulated time is — not the sum of per-round maxima.
+	s.simSeconds = maxOf(a.clocks)
+	s.commSeconds = maxOf(a.commClocks)
+	return nil
+}
+
+// nextEvent waits for the next reader delivery or cancellation.
+func (a *AsyncScheduler) nextEvent(ctx context.Context) (schedEvent, error) {
+	select {
+	case <-ctx.Done():
+		return schedEvent{}, ctx.Err()
+	case ev := <-a.events:
+		return ev, nil
+	}
+}
+
+// handleUpdate accounts, staleness-checks and folds one upload. The update
+// may alias the link's decode buffers: everything the scheduler keeps is
+// copied out (or folded into aggregator scratch) before returning.
+func (a *AsyncScheduler) handleUpdate(s *Server, taskIdx, id int, u *Update) error {
+	if u.ClientID != id {
+		return fmt.Errorf("fed: link %d sent update claiming client %d", id, u.ClientID)
+	}
+	if !u.Participating {
+		return fmt.Errorf("fed: async: client %d sent a non-participating update", id)
+	}
+	if u.BaseVersion > s.version {
+		return fmt.Errorf("fed: async: client %d trained from version %d, server is at %d", id, u.BaseVersion, s.version)
+	}
+	if n := u.ParamLen(); a.paramLen == 0 {
+		a.paramLen = n
+	} else if n != a.paramLen {
+		return fmt.Errorf("fed: client %d sent %d parameters, others sent %d", id, n, a.paramLen)
+	}
+	a.updatesSeen[id]++
+
+	// The client did the work and the link carried the bytes whether or not
+	// the update is folded, so clocks and traffic count unconditionally.
+	comm := device.CommTime(u.UpBytes+u.DownBytes, s.cfg.Bandwidth)
+	a.clocks[id] += u.ComputeSeconds + comm
+	a.commClocks[id] += comm
+	if u.ComputeSeconds > a.worstCompute {
+		a.worstCompute = u.ComputeSeconds
+	}
+	if comm > a.worstComm {
+		a.worstComm = comm
+	}
+	a.windowUp += u.UpBytes
+	a.windowDown += u.DownBytes
+	s.upBytes += u.UpBytes
+	s.downBytes += u.DownBytes
+
+	staleness := int(s.version - u.BaseVersion)
+	if a.maxStale > 0 && staleness > a.maxStale {
+		a.staleCount++
+		return nil
+	}
+	w := u.Weight
+	if w == 0 {
+		w = 1
+	}
+	if a.alpha > 0 && staleness > 0 {
+		w *= math.Pow(1/(1+float64(staleness)), a.alpha)
+	}
+	u.Weight = w
+	s.stream.Accumulate(u)
+	a.buffered++
+	if a.buffered >= a.commitK {
+		a.commit(s, taskIdx)
+	}
+	return nil
+}
+
+// commit closes the current window: finish the streaming reduction, bump
+// the global version, copy the result into a fresh versioned buffer,
+// broadcast it to every alive client, and report the commit to the
+// observer. A window holding only staleness rejections (the task-closing
+// flush) commits nothing — no version bump, no broadcast — but still
+// reports a RoundStats with Participants 0 so Stale counts are never
+// dropped.
+func (a *AsyncScheduler) commit(s *Server, taskIdx int) {
+	global := s.stream.FinishRound()
+	if global != nil {
+		s.version++
+		a.global = append([]float32(nil), global...)
+		gm := &GlobalModel{Params: a.global, Version: s.version}
+		for i, t := range s.links {
+			if !s.alive[i] {
+				continue
+			}
+			if err := t.Send(gm); err != nil {
+				// Defer the eviction bookkeeping to the reader's error
+				// event (it owns DeadAfter/logging); just stop sending.
+				continue
+			}
+		}
+	}
+	if s.obs != nil {
+		s.obs.RoundDone(RoundStats{
+			TaskIdx: taskIdx, Round: a.commitIdx, Participants: a.buffered,
+			Version: s.version, Stale: a.staleCount,
+			ComputeSeconds: a.worstCompute, CommSeconds: a.worstComm,
+			UpBytes: a.windowUp, DownBytes: a.windowDown,
+		})
+	}
+	a.commitIdx++
+	a.resetWindow()
+	s.stream.BeginRound()
+}
+
+// resetWindow clears the per-commit accounting.
+func (a *AsyncScheduler) resetWindow() {
+	a.buffered, a.staleCount = 0, 0
+	a.worstCompute, a.worstComm = 0, 0
+	a.windowUp, a.windowDown = 0, 0
+}
+
+// allUploaded reports whether every alive client has delivered its Rounds
+// uploads for the current task.
+func (a *AsyncScheduler) allUploaded(s *Server) bool {
+	for i, n := range a.updatesSeen {
+		if s.alive[i] && n < s.cfg.Rounds {
+			return false
+		}
+	}
+	return true
+}
+
+// evict removes a client whose transport failed: mark it dead, record the
+// task it was lost at, close the link, log, and keep scheduling the
+// survivors. This is the asynchronous answer to churn — a dropped TCP
+// connection costs one client, not the run.
+func (a *AsyncScheduler) evict(s *Server, res *Result, taskIdx, id int, err error) {
+	if !s.alive[id] {
+		return
+	}
+	s.alive[id] = false
+	res.DeadAfter[id] = taskIdx
+	s.links[id].Close()
+	s.logf("fed: async: evicted client %d at task %d: %v", id, taskIdx, err)
+}
+
+// maxOf returns the maximum element (0 for an empty slice).
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -3,18 +3,31 @@ package fed
 import (
 	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
 // RoundStats is the server-side accounting of one finished aggregation
-// round, streamed to the RoundObserver.
+// round, streamed to the RoundObserver. Under the synchronous scheduler a
+// round is one full lockstep collection; under the asynchronous scheduler it
+// is one global-model commit (K accepted updates).
 type RoundStats struct {
-	TaskIdx      int
-	Round        int
+	// TaskIdx is the task the round belongs to.
+	TaskIdx int
+	// Round is the round's ordinal within the task: the lockstep round
+	// index, or the commit's sequence number under the asynchronous
+	// scheduler.
+	Round int
+	// Participants is the number of updates aggregated into this round's
+	// global model.
 	Participants int
+	// Version is the global model version after this round's commit.
+	Version uint64
+	// Stale is the number of updates rejected by the -max-staleness bound
+	// since the previous commit (always 0 under the synchronous scheduler).
+	Stale int
 	// ComputeSeconds / CommSeconds are this round's simulated times (the
 	// slowest participant bounds a synchronous round).
 	ComputeSeconds float64
@@ -62,13 +75,32 @@ func (o ObserverFuncs) TaskDone(tp TaskPoint) {
 // only parameter vectors and accounting, which is what lets one server drive
 // loopback goroutines and remote TCP clients identically.
 type ServerConfig struct {
-	Method      string
-	NumClients  int
-	NumTasks    int
-	Rounds      int     // aggregation rounds per task (r)
-	Bandwidth   float64 // bytes/second per client link
-	DropoutProb float64 // per-round, per-client offline probability
-	Seed        uint64
+	// Method identifies the training method in reports.
+	Method string
+	// NumClients is the federation size; 0 means len(links).
+	NumClients int
+	// NumTasks is the continual-learning task count.
+	NumTasks int
+	// Rounds is the number of aggregation rounds per task (r). Under the
+	// asynchronous scheduler it is the number of updates each client
+	// uploads per task — the same total work, scheduled differently.
+	Rounds int
+	// Bandwidth is the simulated bytes/second of each client link.
+	Bandwidth float64
+	// DropoutProb is the per-round, per-client offline probability
+	// (synchronous scheduler only; see Config.DropoutProb).
+	DropoutProb float64
+	// Seed drives the server's failure-injection RNG.
+	Seed uint64
+	// Scheduler selects the scheduling policy (SchedulerSync or
+	// SchedulerAsync; empty means sync) — see Config.Scheduler.
+	Scheduler string
+	// Async configures the asynchronous scheduler; ignored when Scheduler
+	// is sync.
+	Async AsyncConfig
+	// Logf, when set, receives operational log lines (client evictions);
+	// nil uses the standard library logger. It never receives results.
+	Logf func(format string, args ...any)
 }
 
 // updateMeta is the accounting a round keeps per participating update. The
@@ -81,18 +113,26 @@ type updateMeta struct {
 	downBytes      int64
 }
 
-// Server is the protocol's round scheduler: it opens rounds, collects
-// updates, delegates to the Aggregator, broadcasts the global model, and
-// keeps the books (simulated clock, traffic, accuracy matrix, evictions).
+// Server is the protocol's hub: it owns one Transport per client, the
+// pluggable Aggregator, and the books (simulated clock, traffic, accuracy
+// matrix, evictions), and delegates round control flow to its Scheduler —
+// the lockstep SyncScheduler by default, or the staleness-bounded
+// AsyncScheduler.
 type Server struct {
 	cfg     ServerConfig
 	agg     Aggregator
 	stream  StreamAggregator // non-nil when agg reduces incrementally
-	links   []Transport      // index = client ID
+	sched   Scheduler
+	links   []Transport // index = client ID
 	alive   []bool
 	offline []bool
 	dropRNG *tensor.RNG
 	obs     RoundObserver
+
+	// version is the global model's commit version, monotone over the run:
+	// 0 is the shared initial model, and every commit (one per synchronous
+	// round, one per K accepted asynchronous updates) increments it.
+	version uint64
 
 	simSeconds  float64
 	commSeconds float64
@@ -108,7 +148,12 @@ type Server struct {
 // defaults to SparseFedAvg when nil — the streaming reducer that handles
 // dense updates with WeightedFedAvg's exact arithmetic and sparse updates in
 // O(active knowledge). A StreamAggregator is fed each update as it is
-// decoded; any other Aggregator sees the buffered round.
+// decoded; any other Aggregator sees the buffered round. The scheduling
+// policy comes from cfg.Scheduler; NewServer panics on an unknown policy, on
+// SchedulerAsync with a non-streaming aggregator (the asynchronous policy
+// folds updates as they arrive and never buffers them), and on
+// SchedulerAsync with DropoutProb > 0 (round-level dropout is a lockstep
+// concept; asynchronous churn is modelled as eviction on transport failure).
 func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 	if cfg.NumClients == 0 {
 		cfg.NumClients = len(links)
@@ -129,6 +174,20 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 		rows:    make([][]float64, cfg.NumClients),
 	}
 	s.stream, _ = agg.(StreamAggregator)
+	switch cfg.Scheduler {
+	case "", SchedulerSync:
+		s.sched = &SyncScheduler{}
+	case SchedulerAsync:
+		if s.stream == nil {
+			panic(fmt.Sprintf("fed: the async scheduler requires a StreamAggregator, %s only buffers", agg.Name()))
+		}
+		if cfg.DropoutProb > 0 {
+			panic("fed: the async scheduler does not support DropoutProb (churn is modelled as eviction on transport failure)")
+		}
+		s.sched = newAsyncScheduler(cfg)
+	default:
+		panic(fmt.Sprintf("fed: unknown scheduler %q (want %q or %q)", cfg.Scheduler, SchedulerSync, SchedulerAsync))
+	}
 	for i := range s.alive {
 		s.alive[i] = true
 	}
@@ -149,12 +208,16 @@ func (s *Server) AliveClients() int {
 	return n
 }
 
+// Version reports the current global-model commit version.
+func (s *Server) Version() uint64 { return s.version }
+
 // Run executes the full task sequence and returns the result. Cancelling ctx
 // aborts between protocol steps: the partial Result gathered so far is
 // returned together with the context's error, and all transports are closed
 // so client loops terminate. Run closes the transports on every path and
 // must only be called once.
 func (s *Server) Run(ctx context.Context) (*Result, error) {
+	defer s.sched.Close()
 	defer s.closeAll()
 	res := &Result{
 		Method:    s.cfg.Method,
@@ -162,7 +225,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		DeadAfter: map[int]int{},
 	}
 	for taskIdx := 0; taskIdx < s.cfg.NumTasks; taskIdx++ {
-		if err := s.runTask(ctx, taskIdx, res); err != nil {
+		if err := s.sched.RunTask(ctx, s, taskIdx, res); err != nil {
 			return res, err
 		}
 		tp := TaskPoint{
@@ -182,144 +245,6 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-// runTask schedules the r aggregation rounds of one task.
-func (s *Server) runTask(ctx context.Context, taskIdx int, res *Result) error {
-	for round := 0; round < s.cfg.Rounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		taskDone := round == s.cfg.Rounds-1
-		// Failure injection: each client may drop out of this round. The
-		// draw order (ascending client ID, no draw for dead clients) is part
-		// of the reproducibility contract.
-		anyOnline := false
-		for i := range s.links {
-			s.offline[i] = s.alive[i] && s.cfg.DropoutProb > 0 && s.dropRNG.Float64() < s.cfg.DropoutProb
-			if s.alive[i] && !s.offline[i] {
-				anyOnline = true
-			}
-		}
-		if !anyOnline {
-			// Keep the protocol alive: at least one participant per round.
-			for i := range s.links {
-				if s.alive[i] {
-					s.offline[i] = false
-					break
-				}
-			}
-		}
-		for i, t := range s.links {
-			if !s.alive[i] {
-				continue
-			}
-			rs := &RoundStart{TaskIdx: taskIdx, Round: round, Participate: !s.offline[i], TaskDone: taskDone}
-			if err := t.Send(rs); err != nil {
-				return s.runErr(ctx, fmt.Errorf("fed: round start to client %d: %w", i, err))
-			}
-		}
-		// Collect every alive client's update (dropped-out clients send an
-		// empty acknowledgement). Ascending client ID keeps aggregation
-		// order deterministic. A streaming aggregator folds each update into
-		// the global scratch the moment it is decoded — the server never
-		// buffers per-client parameter vectors, so its hot path costs
-		// O(active knowledge) per update instead of holding O(model ×
-		// clients).
-		s.updates = s.updates[:0]
-		s.metas = s.metas[:0]
-		if s.stream != nil {
-			s.stream.BeginRound()
-		}
-		firstLen := -1
-		for i, t := range s.links {
-			if !s.alive[i] {
-				continue
-			}
-			msg, err := t.Recv()
-			if err != nil {
-				return s.runErr(ctx, fmt.Errorf("fed: update from client %d: %w", i, err))
-			}
-			u, ok := msg.(*Update)
-			if !ok {
-				return fmt.Errorf("fed: client %d sent %T, want *Update", i, msg)
-			}
-			// The ID routes the GlobalModel broadcast, so a wire client must
-			// not be able to impersonate (or index-out-of-range) another link.
-			if u.ClientID != i {
-				return fmt.Errorf("fed: link %d sent update claiming client %d", i, u.ClientID)
-			}
-			if u.Participating {
-				// Mismatched vector lengths (a client with a different
-				// model, slipping past the fingerprint check) must fail as
-				// a protocol error, not panic inside the aggregator.
-				if n := u.ParamLen(); firstLen < 0 {
-					firstLen = n
-				} else if n != firstLen {
-					return fmt.Errorf("fed: client %d sent %d parameters, others sent %d",
-						i, n, firstLen)
-				}
-				if s.stream != nil {
-					s.stream.Accumulate(u)
-				} else {
-					s.updates = append(s.updates, u)
-				}
-				s.metas = append(s.metas, updateMeta{
-					clientID: i, computeSeconds: u.ComputeSeconds,
-					upBytes: u.UpBytes, downBytes: u.DownBytes,
-				})
-			}
-		}
-		// Time accounting: synchronous rounds bound by the slowest client.
-		var worstCompute, worstComm float64
-		var roundUp, roundDown int64
-		for _, m := range s.metas {
-			if m.computeSeconds > worstCompute {
-				worstCompute = m.computeSeconds
-			}
-			if t := device.CommTime(m.upBytes+m.downBytes, s.cfg.Bandwidth); t > worstComm {
-				worstComm = t
-			}
-			roundUp += m.upBytes
-			roundDown += m.downBytes
-		}
-		s.simSeconds += worstCompute + worstComm
-		s.commSeconds += worstComm
-		s.upBytes += roundUp
-		s.downBytes += roundDown
-
-		// Finish the reduction and broadcast to the round's participants.
-		// The global slice may alias aggregator scratch; every participant
-		// acknowledges (next Update or RoundEnd) before the next round
-		// rewrites it, so sharing is safe even over the zero-copy loopback.
-		var global []float32
-		if s.stream != nil {
-			global = s.stream.FinishRound()
-		} else {
-			global = s.agg.Aggregate(s.updates)
-		}
-		if global != nil {
-			gm := &GlobalModel{Params: global}
-			for _, m := range s.metas {
-				if err := s.links[m.clientID].Send(gm); err != nil {
-					return s.runErr(ctx, fmt.Errorf("fed: global model to client %d: %w", m.clientID, err))
-				}
-			}
-		}
-		if s.obs != nil {
-			s.obs.RoundDone(RoundStats{
-				TaskIdx: taskIdx, Round: round, Participants: len(s.metas),
-				ComputeSeconds: worstCompute, CommSeconds: worstComm,
-				UpBytes: roundUp, DownBytes: roundDown,
-			})
-		}
-		if taskDone {
-			if err := s.collectRoundEnds(ctx, taskIdx, res); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
 // runErr reports a transport failure, preferring the context's error: when
 // the run was cancelled, client endpoints close their transports and the
 // resulting EOFs are an effect of the cancel, not a protocol failure.
@@ -330,42 +255,34 @@ func (s *Server) runErr(ctx context.Context, err error) error {
 	return err
 }
 
-// collectRoundEnds gathers every alive client's task report: eviction flags
-// first, then the accuracy-matrix row averaged over the survivors.
-func (s *Server) collectRoundEnds(ctx context.Context, taskIdx int, res *Result) error {
-	for i := range s.rows {
-		s.rows[i] = nil
+// handleRoundEnd applies one client's task report — the shared protocol
+// enforcement both schedulers rely on: the claimed ID must match the link,
+// a death report evicts, and a survivor's accuracy row must cover exactly
+// the learned tasks before it lands in s.rows.
+func (s *Server) handleRoundEnd(id int, re *RoundEnd, taskIdx int, res *Result) error {
+	if re.ClientID != id {
+		return fmt.Errorf("fed: link %d sent round end claiming client %d", id, re.ClientID)
 	}
-	for i, t := range s.links {
-		if !s.alive[i] {
-			continue
-		}
-		msg, err := t.Recv()
-		if err != nil {
-			return s.runErr(ctx, fmt.Errorf("fed: round end from client %d: %w", i, err))
-		}
-		re, ok := msg.(*RoundEnd)
-		if !ok {
-			return fmt.Errorf("fed: client %d sent %T, want *RoundEnd", i, msg)
-		}
-		if re.ClientID != i {
-			return fmt.Errorf("fed: link %d sent round end claiming client %d", i, re.ClientID)
-		}
-		if re.Dead {
-			s.alive[i] = false
-			res.DeadAfter[i] = taskIdx
-			continue
-		}
-		if len(re.EvalAccs) != taskIdx+1 {
-			return fmt.Errorf("fed: client %d reported %d accuracies after task %d", i, len(re.EvalAccs), taskIdx)
-		}
-		s.rows[i] = re.EvalAccs
+	if re.Dead {
+		s.alive[id] = false
+		res.DeadAfter[id] = taskIdx
+		return nil
 	}
+	if len(re.EvalAccs) != taskIdx+1 {
+		return fmt.Errorf("fed: client %d reported %d accuracies after task %d", id, len(re.EvalAccs), taskIdx)
+	}
+	s.rows[id] = re.EvalAccs
+	return nil
+}
+
+// fillMatrixRow averages the collected s.rows into the accuracy matrix's
+// row for taskIdx (the mean over clients that reported, per learned task).
+func (s *Server) fillMatrixRow(taskIdx int, res *Result) {
 	for p := 0; p <= taskIdx; p++ {
 		var sum float64
 		n := 0
 		for _, accs := range s.rows {
-			if accs != nil {
+			if accs != nil && p < len(accs) {
 				sum += accs[p]
 				n++
 			}
@@ -374,7 +291,15 @@ func (s *Server) collectRoundEnds(ctx context.Context, taskIdx int, res *Result)
 			res.Matrix.Set(taskIdx, p, sum/float64(n))
 		}
 	}
-	return nil
+}
+
+// logf routes operational log lines to the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 func (s *Server) closeAll() {

@@ -7,9 +7,12 @@ import (
 
 // Transport is one duplex message link between the server and a single
 // client. The server holds one Transport per client; the client holds the
-// peer end. Implementations must deliver messages in order. A Transport end
-// is used by one goroutine at a time (the protocol is lockstep), so
-// implementations need not support concurrent Send or concurrent Recv.
+// peer end. Implementations must deliver messages in order, and must allow
+// the two directions to be driven by different goroutines: one goroutine
+// may Send while another Recvs (the asynchronous scheduler pumps the
+// receive side on a dedicated reader goroutine while broadcasts go out).
+// Each single direction is still used by one goroutine at a time, so
+// implementations need not support concurrent Sends or concurrent Recvs.
 //
 // Recv returns io.EOF after the peer closes its end and all in-flight
 // messages have been drained — that is the protocol's shutdown signal.
@@ -38,10 +41,20 @@ type loopbackEnd struct {
 }
 
 // Loopback returns a connected in-memory transport pair: the server end and
-// the client end.
+// the client end. The per-direction buffer fits the lockstep protocol; use
+// LoopbackCap for schedulers that send without waiting.
 func Loopback() (server, client Transport) {
-	s2c := make(chan Msg, loopbackCap)
-	c2s := make(chan Msg, loopbackCap)
+	return LoopbackCap(loopbackCap)
+}
+
+// LoopbackCap is Loopback with an explicit per-direction buffer capacity.
+// The asynchronous scheduler requires a capacity that covers a whole task's
+// in-flight messages (Engine computes Rounds × clients + 4): neither
+// endpoint may ever block on Send, or a slow client would stall the commit
+// loop — the exact failure mode the scheduler exists to remove.
+func LoopbackCap(n int) (server, client Transport) {
+	s2c := make(chan Msg, n)
+	c2s := make(chan Msg, n)
 	sClosed := make(chan struct{})
 	cClosed := make(chan struct{})
 	server = &loopbackEnd{send: s2c, recv: c2s, closed: sClosed, peerClosed: cClosed}

@@ -236,6 +236,20 @@ func TestWireMatchesLoopback(t *testing.T) {
 	}
 }
 
+// TestWireMatchesLoopbackExplicitSyncScheduler runs the transport
+// equivalence bar through the Scheduler seam selected by name: -scheduler
+// sync must change nothing, over either transport.
+func TestWireMatchesLoopbackExplicitSyncScheduler(t *testing.T) {
+	cfg, cluster, seqs, build := tinySetup(21) // same seed as TestWireMatchesLoopback
+	factory := func(ctx *ClientCtx) Strategy { return &passthrough{ctx: ctx} }
+	implicit := NewEngine(cfg, cluster, seqs, build, factory).Run()
+	cfg.Scheduler = SchedulerSync
+	loop := NewEngine(cfg, cluster, seqs, build, factory).Run()
+	wire := runWire(t, cfg, cluster, seqs, build, factory)
+	compareResults(t, 3, implicit, loop)
+	compareResults(t, 3, loop, wire)
+}
+
 func TestWireMatchesLoopbackUnderDropout(t *testing.T) {
 	cfg, cluster, seqs, build := tinySetup(22)
 	cfg.DropoutProb = 0.4

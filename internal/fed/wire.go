@@ -19,8 +19,12 @@ type WireOptions struct {
 	// deadlines (net.Conn does): a hung or vanished peer surfaces as a
 	// timeout error instead of wedging the round forever. 0 disables. The
 	// timeout must exceed the longest interval a healthy peer can stay
-	// silent — for a client's Recv, a full round of every client's local
-	// training.
+	// silent. Under the synchronous scheduler that is, for a client's Recv,
+	// a full round of every client's local training. Under the asynchronous
+	// scheduler it is longer: a fast client that finished its uploads idles
+	// at the task barrier while the slowest client trains its remaining
+	// rounds, so the timeout must exceed the straggler's whole task — or a
+	// healthy fast client is evicted for being early.
 	Timeout time.Duration
 }
 
