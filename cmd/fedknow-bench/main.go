@@ -50,6 +50,7 @@ func main() {
 	asyncCommitK := flag.Int("async-commit-k", 0, "async scheduler: commit the global model every K accepted updates (0 = half the cohort)")
 	maxStaleness := flag.Int("max-staleness", 0, "async scheduler: reject updates staler than this many global versions (0 = unbounded)")
 	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
+	syncEvict := flag.Bool("sync-evict", false, "sync scheduler: evict a dropped client and keep the cohort going instead of aborting (relaxes lockstep reproducibility)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 	if *scheduler != fed.SchedulerSync && *scheduler != fed.SchedulerAsync {
@@ -92,7 +93,7 @@ func main() {
 	}
 	opt := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout,
 		Parallelism: *parallel, KernelThreads: *kernelThreads,
-		Scheduler: *scheduler, AsyncCommitK: *asyncCommitK,
+		Scheduler: *scheduler, SyncEvict: *syncEvict, AsyncCommitK: *asyncCommitK,
 		MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha}
 	if *progress {
 		opt.Observer = fed.ObserverFuncs{Task: func(tp fed.TaskPoint) {

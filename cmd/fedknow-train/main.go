@@ -29,6 +29,15 @@
 // server commits every -async-commit-k accepted updates, deweights stale
 // updates by 1/(1+staleness)^alpha, rejects those beyond -max-staleness,
 // and a dropped connection evicts that client instead of aborting the run.
+//
+// Churn is survivable end to end under async: the server keeps accepting
+// rejoin handshakes for evicted seats, and a client run with -reconnect N
+// redials a dropped connection (capped exponential backoff, up to N
+// consecutive attempts), presents its ID, job fingerprint and last-seen
+// global version, and resumes the task from the server's catch-up reply
+// without losing local training state. Under -scheduler sync a dropped
+// connection aborts the run by default (reproducibility); -sync-evict opts
+// into evicting the lost client and finishing with the survivors.
 package main
 
 import (
@@ -50,8 +59,9 @@ import (
 // loopback run share; deriving it identically in every process is what makes
 // a distributed run reproduce the in-process one.
 type job struct {
-	cfg     fed.Config
-	wire    fed.WireOptions
+	cfg       fed.Config
+	wire      fed.WireOptions
+	reconnect int // client role: max consecutive rejoin attempts (0 = off)
 	fam     data.Family
 	scale   data.Scale
 	arch    string
@@ -82,11 +92,13 @@ func main() {
 	connect := flag.String("connect", "", "run as one wire-transport client of the server at this address")
 	clientID := flag.Int("client-id", 0, "this client's ID when using -connect (0 ≤ id < clients)")
 	compress := flag.String("compress", "none", "wire value encoding: none (lossless, bit-exact), fp16 or int8 (lossy, 2x/4x fewer bytes); every process of one run must agree")
-	wireTimeout := flag.Duration("wire-timeout", 0, "per-message wire deadline (e.g. 2m): a hung peer errors instead of wedging the round; 0 disables; with -scheduler async it must exceed the slowest client's whole task (fast clients idle at the task barrier)")
+	wireTimeout := flag.Duration("wire-timeout", 0, "per-message wire deadline (e.g. 2m): a hung peer errors instead of wedging the round; 0 disables; without -reconnect it must exceed the longest a healthy peer stays silent (async: the slowest client's whole task), with -reconnect a timeout eviction is recoverable so honest per-message bounds work")
 	scheduler := flag.String("scheduler", "sync", "round-scheduling policy: sync (lockstep, bit-reproducible) or async (staleness-bounded buffered commits; stragglers no longer stall rounds); every process of one run must agree")
 	asyncCommitK := flag.Int("async-commit-k", 0, "async scheduler: commit the global model every K accepted updates (0 = half the cohort)")
 	maxStaleness := flag.Int("max-staleness", 0, "async scheduler: reject updates staler than this many global versions (0 = unbounded)")
 	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
+	reconnect := flag.Int("reconnect", 0, "client role: rejoin a dropped connection with a catch-up handshake, retrying up to N consecutive times under capped exponential backoff (requires -scheduler async; 0 disables)")
+	syncEvict := flag.Bool("sync-evict", false, "sync scheduler: evict a client whose connection drops and keep the cohort going instead of aborting the run (relaxes lockstep reproducibility; every process of one run must agree)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 
@@ -100,6 +112,14 @@ func main() {
 	}
 	if *scheduler == fed.SchedulerAsync && *dropout > 0 {
 		fmt.Fprintln(os.Stderr, "-scheduler async does not support -dropout (async churn is modelled as eviction on connection loss)")
+		os.Exit(2)
+	}
+	if *reconnect > 0 && *scheduler != fed.SchedulerAsync {
+		fmt.Fprintln(os.Stderr, "-reconnect requires -scheduler async (lockstep has no rejoin splice point; see -sync-evict for sync-mode drop tolerance)")
+		os.Exit(2)
+	}
+	if *syncEvict && *scheduler != fed.SchedulerSync {
+		fmt.Fprintln(os.Stderr, "-sync-evict only applies to -scheduler sync (async always evicts and supports rejoin)")
 		os.Exit(2)
 	}
 	quant, ok := fed.QuantByName(*compress)
@@ -151,7 +171,7 @@ func main() {
 			BatchSize: rt.BatchSize, LR: rt.LR, LRDecay: rt.LRDecay,
 			NumClasses: ds.NumClasses, Bandwidth: rt.Bandwidth, Seed: *seed,
 			Parallelism: *parallel, DropoutProb: *dropout,
-			Scheduler: *scheduler,
+			Scheduler: *scheduler, SyncEvict: *syncEvict,
 			Async: fed.AsyncConfig{CommitEvery: *asyncCommitK,
 				MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha},
 		},
@@ -159,6 +179,7 @@ func main() {
 			Compression: fed.Compression{Quant: quant},
 			Timeout:     *wireTimeout,
 		},
+		reconnect: *reconnect,
 		fam: fam, scale: sc, arch: architecture, width: rt.Width,
 		clients: rt.Clients, tasks: len(tasks), ds: ds, seqs: seqs,
 		cluster: device.Jetson20(),
@@ -224,29 +245,39 @@ func runLoopback(j *job) {
 
 // runServe is the server role of a distributed run: accept one TCP
 // connection per client, schedule the rounds, aggregate, stream results.
+// Under the async scheduler the listener stays open for the whole run,
+// accepting catch-up rejoins from clients whose connections dropped.
 func runServe(j *job, addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serving on %s, waiting for %d clients...\n", ln.Addr(), j.clients)
-	links, err := fed.ServeWith(ln, j.clients, j.fingerprint(), j.wire)
-	ln.Close()
+	var links []fed.Transport
+	var acceptor *fed.RejoinAcceptor
+	if j.cfg.Scheduler == fed.SchedulerAsync {
+		links, acceptor, err = fed.ServeRejoinWith(ln, j.clients, j.fingerprint(), j.wire)
+		if err == nil {
+			defer acceptor.Close()
+		}
+	} else {
+		links, err = fed.ServeWith(ln, j.clients, j.fingerprint(), j.wire)
+		ln.Close()
+	}
 	if err != nil {
 		return err
 	}
 	srv := fed.NewServer(j.cfg.ServerConfigFor(j.clients, j.tasks), nil, links)
+	if acceptor != nil {
+		srv.SetRejoins(acceptor.Rejoins())
+	}
 	srv.SetObserver(streamRows())
 	banner(j, "wire")
 	_, err = srv.Run(context.Background())
 	if err == nil {
-		var sent, recv int64
-		for _, l := range links {
-			if w, ok := l.(*fed.WireTransport); ok {
-				sent += w.BytesSent()
-				recv += w.BytesRecv()
-			}
-		}
+		// WireTraffic also counts connections retired by a rejoin, so the
+		// summary never loses the bytes a dropped link already carried.
+		sent, recv := srv.WireTraffic()
 		fmt.Printf("measured wire traffic (%s): %.2f MB sent, %.2f MB received\n",
 			j.wire.Compression.Quant, float64(sent)/(1<<20), float64(recv)/(1<<20))
 	}
@@ -255,17 +286,30 @@ func runServe(j *job, addr string) error {
 
 // runConnect is the client role of a distributed run: rebuild this client's
 // shard and model deterministically from the shared flags, dial the server,
-// and follow the round lifecycle until the server closes the link.
+// and follow the round lifecycle until the server closes the link. With
+// -reconnect a dropped connection is rejoined with the catch-up handshake
+// instead of ending the process.
 func runConnect(j *job, addr string, id int) error {
 	if id < 0 || id >= j.clients {
 		return fmt.Errorf("client id %d out of range [0,%d)", id, j.clients)
+	}
+	c := fed.NewWireClient(j.cfg, id, j.clients, j.cluster.Devices[id%j.cluster.Size()],
+		j.seqs[id], j.build, j.factory)
+	if j.reconnect > 0 {
+		fmt.Printf("client %d joining %s with rejoin-on-drop, up to %d attempts (%s on %s)\n",
+			id, addr, j.reconnect, j.cfg.Method, j.fam.Name)
+		if err := c.RunReconnect(context.Background(), fed.Reconnect{
+			Addr: addr, Fingerprint: j.fingerprint(), Wire: j.wire, Attempts: j.reconnect,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("client %d done\n", id)
+		return nil
 	}
 	t, err := fed.DialWith(addr, id, j.fingerprint(), j.wire)
 	if err != nil {
 		return err
 	}
-	c := fed.NewWireClient(j.cfg, id, j.clients, j.cluster.Devices[id%j.cluster.Size()],
-		j.seqs[id], j.build, j.factory)
 	fmt.Printf("client %d joined %s (%s on %s)\n", id, addr, j.cfg.Method, j.fam.Name)
 	if err := c.Run(context.Background(), t); err != nil {
 		return err

@@ -1,25 +1,32 @@
-// Distributed walkthrough: the same FedKNOW federation run three times —
+// Distributed walkthrough: the same FedKNOW federation run four times —
 // in-process over the loopback transport, over real localhost TCP with the
 // wire transport (one goroutine per client endpoint, exactly the code a
-// separate client process would run), and over TCP again with opt-in fp16
-// compression — with a field-by-field comparison showing the lossless wire
-// run is bit-identical to loopback, and a bytes-on-the-wire comparison
-// showing what the compressed run saves.
+// separate client process would run), over TCP again with opt-in fp16
+// compression, and finally a chaos leg: the asynchronous scheduler with one
+// client's TCP connection killed mid-task, which rejoins through the
+// catch-up handshake and finishes the run with no seat lost. The first
+// three legs end with a field-by-field comparison showing the lossless wire
+// run is bit-identical to loopback and a bytes-on-the-wire comparison
+// showing what the compressed run saves; the chaos leg asserts the rejoined
+// run completes every task with the cohort restored.
 //
 // This is the protocol seam in action: the server never sees data, models or
 // strategies, only typed round messages (RoundStart → Update → GlobalModel →
 // RoundEnd), so the simulator is just one binding of a real protocol.
 //
-// Run with -short for a CI-sized configuration.
+// Run with -short for a CI-sized configuration, and -leg rejoin to run only
+// the kill-and-rejoin chaos leg (CI runs it under the race detector).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -31,7 +38,11 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "shrink the run for CI")
+	leg := flag.String("leg", "all", "all, or rejoin (the kill-and-rejoin chaos leg only)")
 	flag.Parse()
+	if *leg != "all" && *leg != "rejoin" {
+		fail(fmt.Errorf("unknown -leg %q (all, rejoin)", *leg))
+	}
 
 	// 1. Shared job definition. Every process of a wire run derives this
 	// independently from the same knobs — that is all the coordination the
@@ -57,6 +68,11 @@ func main() {
 	// The handshake digest covers Config plus the job knobs Config can't see.
 	fingerprint := cfg.Fingerprint("CIFAR100", "SixCNN",
 		fmt.Sprint(numClients), fmt.Sprint(numTasks))
+
+	if *leg == "rejoin" {
+		runKillRejoin(cfg, numClients, numTasks, cluster, seqs, build, factory)
+		return
+	}
 
 	// 2. Reference: the in-process loopback engine.
 	fmt.Println("=== loopback run (in-process) ===")
@@ -112,6 +128,187 @@ func main() {
 	fmt.Printf("measured wire traffic: lossless %.2f MB, fp16 %.2f MB (%.2fx smaller)\n",
 		float64(lossless)/(1<<20), float64(compressed)/(1<<20),
 		float64(lossless)/float64(compressed))
+
+	// 6. Chaos: kill a client's connection mid-task and watch it rejoin.
+	runKillRejoin(cfg, numClients, numTasks, cluster, seqs, build, factory)
+}
+
+// runKillRejoin is the churn leg: the same job under the asynchronous
+// scheduler, with the last client connected through a kill-switch proxy.
+// After the first global commit the proxy severs that client's connection —
+// the server evicts the seat but keeps its state, the client's RunReconnect
+// loop redials with a rejoin hello (ID, job fingerprint, last-seen global
+// version), and the server re-admits it with a Catchup: the current task,
+// how many of its uploads already landed, and the current versioned global.
+// The run must complete every task with the cohort fully restored.
+func runKillRejoin(cfg fed.Config, numClients, numTasks int, cluster *device.Cluster,
+	seqs [][]data.ClientTask, build func(*tensor.RNG) *model.Model, factory fed.Factory) {
+	fmt.Println("\n=== wire run with kill-and-rejoin (async scheduler) ===")
+	acfg := cfg
+	acfg.DropoutProb = 0 // async models churn as eviction, not round dropout
+	acfg.Scheduler = fed.SchedulerAsync
+	acfg.Async = fed.AsyncConfig{CommitEvery: 1, StalenessAlpha: 0.5}
+	aprint := acfg.Fingerprint("CIFAR100", "SixCNN",
+		fmt.Sprint(numClients), fmt.Sprint(numTasks))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	proxy, err := newKillProxy(ln.Addr().String())
+	if err != nil {
+		fail(err)
+	}
+	defer proxy.Close()
+	victim := numClients - 1
+	fmt.Printf("server on %s; client %d routed through kill proxy %s\n",
+		ln.Addr(), victim, proxy.addr())
+
+	var wg sync.WaitGroup
+	for id := 0; id < numClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := fed.NewWireClient(acfg, id, numClients, cluster.Devices[id%cluster.Size()],
+				seqs[id], build, factory)
+			if id == victim {
+				err := c.RunReconnect(context.Background(), fed.Reconnect{
+					Addr: proxy.addr(), Fingerprint: aprint, Attempts: 60,
+					BaseDelay: 20 * time.Millisecond, MaxDelay: 500 * time.Millisecond,
+				})
+				if err != nil {
+					fail(fmt.Errorf("reconnecting client %d: %w", id, err))
+				}
+				return
+			}
+			t, err := fed.Dial(ln.Addr().String(), id, aprint)
+			if err != nil {
+				fail(fmt.Errorf("client %d dial: %w", id, err))
+			}
+			if err := c.Run(context.Background(), t); err != nil {
+				fail(fmt.Errorf("client %d: %w", id, err))
+			}
+		}(id)
+	}
+
+	links, acceptor, err := fed.ServeRejoin(ln, numClients, aprint)
+	if err != nil {
+		fail(err)
+	}
+	srv := fed.NewServer(acfg.ServerConfigFor(numClients, numTasks), nil, links)
+	srv.SetRejoins(acceptor.Rejoins())
+	var kill sync.Once
+	srv.SetObserver(fed.ObserverFuncs{
+		Round: func(s fed.RoundStats) {
+			if s.Participants > 0 {
+				kill.Do(func() {
+					fmt.Printf("  >> killing client %d's connection after commit v%d\n", victim, s.Version)
+					proxy.Kill()
+				})
+			}
+		},
+		Task: printTask,
+	})
+	res, err := srv.Run(context.Background())
+	if err != nil {
+		fail(fmt.Errorf("server must survive the kill: %w", err))
+	}
+	wg.Wait()
+	acceptor.Close()
+
+	// The churn acceptance bar: every task finished, the cohort restored,
+	// the rejoined client's per-task reports in the books.
+	if len(res.PerTask) != numTasks {
+		fail(fmt.Errorf("run finished %d of %d tasks after the kill", len(res.PerTask), numTasks))
+	}
+	if alive := srv.AliveClients(); alive != numClients {
+		fail(fmt.Errorf("%d of %d clients alive: the killed client did not rejoin", alive, numClients))
+	}
+	if len(res.DeadAfter) != 0 {
+		fail(fmt.Errorf("DeadAfter = %v, want empty after rejoin", res.DeadAfter))
+	}
+	for i, tp := range res.PerTask {
+		if tp.AvgAccuracy <= 0 {
+			fail(fmt.Errorf("task %d has no recorded accuracy", i+1))
+		}
+	}
+	sent, recv := srv.WireTraffic()
+	fmt.Printf("client %d was killed mid-task, rejoined, and the run completed all %d tasks\n",
+		victim, numTasks)
+	fmt.Printf("measured wire traffic incl. the retired link: %.2f MB sent, %.2f MB received\n",
+		float64(sent)/(1<<20), float64(recv)/(1<<20))
+}
+
+// killProxy is a minimal TCP proxy with a kill switch: Kill severs every
+// active connection pair (the stand-in for a network partition or crashed
+// NAT) while the listener keeps accepting, so the victim can reconnect
+// through it.
+type killProxy struct {
+	ln       net.Listener
+	upstream string
+	mu       sync.Mutex
+	conns    []net.Conn
+	closed   bool
+}
+
+func newKillProxy(upstream string) (*killProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &killProxy{ln: ln, upstream: upstream}
+	go p.loop()
+	return p, nil
+}
+
+func (p *killProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *killProxy) loop() {
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			down.Close()
+			up.Close()
+			return
+		}
+		p.conns = append(p.conns, down, up)
+		p.mu.Unlock()
+		pipe := func(dst, src net.Conn) {
+			io.Copy(dst, src)
+			dst.Close()
+			src.Close()
+		}
+		go pipe(up, down)
+		go pipe(down, up)
+	}
+}
+
+func (p *killProxy) Kill() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *killProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.Kill()
 }
 
 // runWire executes one TCP federation and returns the result plus the

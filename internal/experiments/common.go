@@ -106,6 +106,10 @@ type Options struct {
 	// Scheduler selects the federation's round-scheduling policy ("sync",
 	// the default, or "async"); it changes results — see fed.Config.
 	Scheduler string
+	// SyncEvict lets the sync scheduler evict a dropped client instead of
+	// aborting; it changes results — see fed.Config.SyncEvict. Ignored
+	// under the async scheduler (which always evicts).
+	SyncEvict bool
 	// AsyncCommitK / MaxStaleness / StalenessAlpha configure the async
 	// scheduler (fed.AsyncConfig); ignored under the sync scheduler.
 	AsyncCommitK   int
@@ -116,6 +120,7 @@ type Options struct {
 // applyScheduler copies the scheduling-policy knobs into an engine config.
 func (o Options) applyScheduler(cfg *fed.Config) {
 	cfg.Scheduler = o.Scheduler
+	cfg.SyncEvict = o.SyncEvict
 	cfg.Async = fed.AsyncConfig{
 		CommitEvery:    o.AsyncCommitK,
 		MaxStaleness:   o.MaxStaleness,

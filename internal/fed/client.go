@@ -37,8 +37,18 @@ type Client struct {
 	// baseVersion is the Version of the last GlobalModel this client
 	// installed — the base its next update trains from, reported in
 	// Update.BaseVersion so the asynchronous scheduler can measure
-	// staleness. 0 until the first install (the shared initial model).
+	// staleness. 0 until the first install (the shared initial model). A
+	// rejoin hello also reports it, so the server can skip the catch-up
+	// payload when the client is already current.
 	baseVersion uint64
+
+	// Reconnect bookkeeping. taskEnded is the highest task whose TaskEnd
+	// hook has run (so a re-reported task never re-extracts knowledge);
+	// finished marks the task sequence complete (or an OOM death report
+	// sent) — the signal RunReconnect uses to tell a clean shutdown from a
+	// dropped connection, both of which surface as io.EOF.
+	taskEnded int
+	finished  bool
 
 	// scratch, reused every round/batch
 	flatBuf   []float32
@@ -68,7 +78,7 @@ func newClient(cfg Config, id, numClients int, dev device.Device, seq []data.Cli
 	}
 	return &Client{
 		cfg: cfg, ctx: ctx, strategy: factory(ctx),
-		seq: seq, dev: dev, curTask: -1,
+		seq: seq, dev: dev, curTask: -1, taskEnded: -1,
 	}
 }
 
@@ -154,7 +164,11 @@ func (c *Client) Run(ctx context.Context, t Transport) error {
 				return err
 			}
 			if re.Dead {
+				c.finished = true
 				return nil
+			}
+			if rs.TaskIdx == len(c.seq)-1 {
+				c.finished = true
 			}
 		}
 	}
@@ -250,42 +264,105 @@ func (c *Client) install(gm *GlobalModel, ct data.ClientTask) {
 // lockstep aliasing contract does not hold here.
 func (c *Client) runAsync(ctx context.Context, t Transport) error {
 	_, wire := t.(*WireTransport)
-	in := newInbox(t, wire)
+	return c.asyncLoop(ctx, t, newInbox(t, wire), nil)
+}
+
+// asyncLoop drives the asynchronous task sequence. resume, when non-nil, is
+// a rejoin catch-up: instead of waiting for a RoundStart, the first task is
+// positioned from the Catchup — install the current global (when the server
+// sent one), then resume uploading at the round the server's books say is
+// next, or jump straight to the task-final evaluation (TaskFinal) or to
+// awaiting the next task (TaskDone).
+func (c *Client) asyncLoop(ctx context.Context, t Transport, in *inbox, resume *Catchup) error {
+	_, wire := t.(*WireTransport)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		msg, err := in.recv()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+		var taskIdx, startRound int
+		var skipToFinal bool
+		if cu := resume; cu != nil {
+			resume = nil
+			taskIdx = cu.TaskIdx
+			if taskIdx < 0 || taskIdx >= len(c.seq) {
+				return fmt.Errorf("fed: client %d rejoin catch-up names task %d of %d", c.ctx.ID, taskIdx, len(c.seq))
 			}
+			if taskIdx != c.curTask {
+				c.order, c.cur = nil, 0
+				c.curTask = taskIdx
+			}
+			if len(cu.Params) > 0 {
+				// The mask-merge install reads flatBuf as the local half; a
+				// client that dropped before its first upload has not
+				// flattened yet.
+				if c.flatBuf == nil {
+					c.flatBuf = nn.FlattenParamsInto(c.flatBuf, c.ctx.Model.Params())
+				}
+				c.install(&GlobalModel{Params: cu.Params, Version: cu.Version}, c.seq[taskIdx])
+			} else if cu.Version > c.baseVersion {
+				c.baseVersion = cu.Version
+			}
+			if cu.TaskDone {
+				// The seat already finished this task (its report landed
+				// before the drop): await the next task — or, when this was
+				// the last one, the run is complete and the coming EOF is a
+				// clean shutdown.
+				if taskIdx == len(c.seq)-1 {
+					c.finished = true
+				}
+				continue
+			}
+			startRound, skipToFinal = cu.Seen, cu.TaskFinal
+		} else {
+			msg, err := in.recv()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return err
+			}
+			rs, ok := msg.(*RoundStart)
+			if !ok {
+				return fmt.Errorf("fed: client %d got %T, want *RoundStart", c.ctx.ID, msg)
+			}
+			if rs.TaskIdx < 0 || rs.TaskIdx >= len(c.seq) {
+				return fmt.Errorf("fed: client %d got task index %d of %d", c.ctx.ID, rs.TaskIdx, len(c.seq))
+			}
+			if rs.TaskIdx != c.curTask {
+				c.order, c.cur = nil, 0
+				c.curTask = rs.TaskIdx
+			}
+			taskIdx = rs.TaskIdx
+		}
+		done, err := c.asyncTask(ctx, t, in, taskIdx, startRound, skipToFinal, !wire)
+		if err != nil {
 			return err
 		}
-		rs, ok := msg.(*RoundStart)
-		if !ok {
-			return fmt.Errorf("fed: client %d got %T, want *RoundStart", c.ctx.ID, msg)
+		if done {
+			return nil
 		}
-		if rs.TaskIdx < 0 || rs.TaskIdx >= len(c.seq) {
-			return fmt.Errorf("fed: client %d got task index %d of %d", c.ctx.ID, rs.TaskIdx, len(c.seq))
-		}
-		if rs.TaskIdx != c.curTask {
-			c.order, c.cur = nil, 0
-			c.curTask = rs.TaskIdx
-		}
-		ct := c.seq[rs.TaskIdx]
-		for r := 0; r < c.cfg.Rounds; r++ {
+	}
+}
+
+// asyncTask runs one task from startRound: the remaining uploads, the task
+// barrier, and the RoundEnd report. skipToFinal short-circuits to the
+// report — a rejoin catch-up that already carried the task-final global.
+// done is true when the client's run is over (an OOM death report).
+func (c *Client) asyncTask(ctx context.Context, t Transport, in *inbox, taskIdx, startRound int, skipToFinal, detach bool) (done bool, err error) {
+	ct := c.seq[taskIdx]
+	if !skipToFinal {
+		for r := startRound; r < c.cfg.Rounds; r++ {
 			if err := ctx.Err(); err != nil {
-				return err
+				return false, err
 			}
 			if gm := in.drainGlobals(); gm != nil {
 				c.install(gm, ct)
 			}
-			if err := c.trainAndUpload(t, ct, !wire); err != nil {
-				return err
+			if err := c.trainAndUpload(t, ct, detach); err != nil {
+				return false, err
 			}
 		}
 		// Task barrier: commits triggered by slower clients may still
@@ -297,35 +374,45 @@ func (c *Client) runAsync(ctx context.Context, t Transport) error {
 			msg, err := in.recv()
 			if err != nil {
 				if ctx.Err() != nil {
-					return ctx.Err()
+					return false, ctx.Err()
 				}
-				return fmt.Errorf("fed: client %d waiting for task-final global: %w", c.ctx.ID, err)
+				return false, fmt.Errorf("fed: client %d waiting for task-final global: %w", c.ctx.ID, err)
 			}
 			gm, ok := msg.(*GlobalModel)
 			if !ok {
-				return fmt.Errorf("fed: client %d got %T, want *GlobalModel", c.ctx.ID, msg)
+				return false, fmt.Errorf("fed: client %d got %T, want *GlobalModel", c.ctx.ID, msg)
 			}
 			if gm.TaskFinal {
 				final = gm
 			}
 		}
 		c.install(final, ct)
-		re := c.finishTask(ct, rs.TaskIdx)
-		if err := t.Send(re); err != nil {
-			return err
-		}
-		if re.Dead {
-			return nil
-		}
 	}
+	re := c.finishTask(ct, taskIdx)
+	if err := t.Send(re); err != nil {
+		return false, err
+	}
+	if re.Dead {
+		c.finished = true
+		return true, nil
+	}
+	if taskIdx == len(c.seq)-1 {
+		c.finished = true
+	}
+	return false, nil
 }
 
 // finishTask runs the task-end hooks: knowledge extraction, the OOM check
 // the heterogeneity study exercises, and (for survivors) evaluation on every
-// learned task.
+// learned task. The TaskEnd hook runs at most once per task — a rejoining
+// client whose RoundEnd was lost in flight re-evaluates and re-reports, but
+// must not re-extract knowledge.
 func (c *Client) finishTask(ct data.ClientTask, taskIdx int) *RoundEnd {
 	re := &RoundEnd{ClientID: c.ctx.ID}
-	c.gate(func() { c.strategy.TaskEnd(ct) })
+	if c.taskEnded < taskIdx {
+		c.gate(func() { c.strategy.TaskEnd(ct) })
+		c.taskEnded = taskIdx
+	}
 	if c.cfg.MemScale > 0 {
 		used := float64(c.ctx.Model.ParamBytes()*4+c.strategy.MemoryBytes()) * c.cfg.MemScale
 		if used > float64(c.dev.MemBytes) {

@@ -9,12 +9,14 @@ import (
 	"repro/internal/tensor"
 )
 
-// Wire format v3 (all fixed-width integers little-endian, counts unsigned
+// Wire format v4 (all fixed-width integers little-endian, counts unsigned
 // varints; the maintained reference is docs/WIRE_FORMAT.md):
 //
 //	frame   := kind(uint8) length(uint32) payload
 //	payload :=
 //	  Hello       clientID(uint32) jobFingerprint(uint64) quant(uint8)
+//	              flags(uint8) lastVersion(uvarint)
+//	              flags: bit0 rejoin
 //	  RoundStart  taskIdx(uint32) round(uint32) flags(uint8)
 //	              flags: bit0 participate, bit1 taskDone
 //	  Update      clientID(uint32) flags(uint8) weight(float64)
@@ -25,8 +27,14 @@ import (
 //	              flags: bit0 taskFinal
 //	  RoundEnd    clientID(uint32) flags(uint8) n(uint64) n×float64
 //	              flags: bit0 dead
+//	  Catchup     taskIdx(uint32) seen(uvarint) version(uvarint) flags(uint8)
+//	              params
+//	              flags: bit0 taskFinal, bit1 taskDone
 //
-// v3 adds the global-version plumbing the asynchronous scheduler needs
+// v4 adds the rejoin path: the Hello frame grew a flags byte (bit0 marks a
+// rejoining client) and the client's last-seen global version, and the new
+// Catchup frame is the server's re-admission reply. v3 added the
+// global-version plumbing the asynchronous scheduler needs
 // (Update.baseVersion, GlobalModel.version/taskFinal); everything else is
 // the v2 layout unchanged. Version fields are uvarints, so a synchronous
 // run pays 1 + 2 extra bytes per round trip at low versions.
@@ -60,6 +68,7 @@ const (
 	flagTaskDone    = 1 << 1
 	flagDead        = 1 << 0
 	flagTaskFinal   = 1 << 0
+	flagRejoin      = 1 << 0
 
 	fmtValueMask = 0x03
 	fmtSparse    = 0x04
@@ -89,12 +98,16 @@ func (c Compression) formatByte(sparse bool) byte {
 // after dialing: its claimed client ID, the job fingerprint the server
 // checks for configuration agreement, and the value encoding it will use —
 // quantization changes results, so a server rejects clients that disagree
-// instead of silently mixing precisions. It never crosses the Transport
+// instead of silently mixing precisions. A rejoining client sets the rejoin
+// flag and its last-seen global version, and expects a Catchup reply
+// instead of the fresh-cohort admission. It never crosses the Transport
 // interface.
 type helloMsg struct {
 	clientID    int
 	fingerprint uint64
 	quant       Quant
+	rejoin      bool
+	lastVersion uint64
 }
 
 func (*helloMsg) Kind() Kind { return KindHello }
@@ -197,6 +210,12 @@ func appendPayload(buf []byte, m Msg, comp Compression) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.clientID))
 		buf = binary.LittleEndian.AppendUint64(buf, v.fingerprint)
 		buf = append(buf, byte(v.quant))
+		var flags byte
+		if v.rejoin {
+			flags |= flagRejoin
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, v.lastVersion)
 	case *RoundStart:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.TaskIdx))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Round))
@@ -240,6 +259,19 @@ func appendPayload(buf []byte, m Msg, comp Compression) []byte {
 		for _, a := range v.EvalAccs {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a))
 		}
+	case *Catchup:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.TaskIdx))
+		buf = binary.AppendUvarint(buf, uint64(v.Seen))
+		buf = binary.AppendUvarint(buf, v.Version)
+		var flags byte
+		if v.TaskFinal {
+			flags |= flagTaskFinal
+		}
+		if v.TaskDone {
+			flags |= flagTaskDone
+		}
+		buf = append(buf, flags)
+		buf = appendParams(buf, v.Params, nil, comp)
 	default:
 		panic(fmt.Sprintf("fed: cannot encode message type %T", m))
 	}
@@ -394,6 +426,7 @@ type decodeScratch struct {
 	upd   Update
 	gm    GlobalModel
 	re    RoundEnd
+	cu    Catchup
 	sp    tensor.SparseVec
 }
 
@@ -626,6 +659,8 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 		if c.err == nil && m.quant > QuantI8 {
 			c.err = fmt.Errorf("fed: unknown quantisation mode %d in hello", m.quant)
 		}
+		m.rejoin = c.u8()&flagRejoin != 0
+		m.lastVersion = c.uvarint()
 		return c.finish(m)
 	case KindRoundStart:
 		m := &s.rs
@@ -664,6 +699,23 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 		*m = RoundEnd{ClientID: int(c.u32())}
 		m.Dead = c.u8()&flagDead != 0
 		m.EvalAccs = c.f64s()
+		return c.finish(m)
+	case KindCatchup:
+		m := &s.cu
+		taskIdx := int(c.u32())
+		seen := c.uvarint()
+		version := c.uvarint()
+		flags := c.u8()
+		dense, sp := c.params()
+		if sp != nil {
+			// Like the global model, the catch-up payload is installed as a
+			// full vector: densify a sparse-encoded frame here.
+			dense = sp.DensifyInto(s.f32)
+			s.f32 = dense
+		}
+		*m = Catchup{TaskIdx: taskIdx, Seen: int(seen), Version: version,
+			TaskFinal: flags&flagTaskFinal != 0, TaskDone: flags&flagTaskDone != 0,
+			Params: dense}
 		return c.finish(m)
 	default:
 		return nil, fmt.Errorf("fed: unknown message kind %d", kind)

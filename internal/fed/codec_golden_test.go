@@ -9,12 +9,13 @@ import (
 )
 
 // TestCodecGoldenFrames pins the wire format at the byte level: these
-// fixtures are the frozen v3 encodings of representative frames (v2 plus
-// the global-version fields the asynchronous scheduler needs — see
-// docs/WIRE_FORMAT.md). If one of them changes, the codec changed — bump
-// the Fingerprint formatVersion, regenerate the fixtures deliberately, and
-// expect old and new binaries not to interoperate. An accidental diff here
-// is a protocol break that the round-trip tests alone would not catch.
+// fixtures are the frozen v4 encodings of representative frames (v3 plus
+// the rejoin path: the hello's rejoin flag and last-seen version, and the
+// Catchup reply — see docs/WIRE_FORMAT.md). If one of them changes, the
+// codec changed — bump the Fingerprint formatVersion, regenerate the
+// fixtures deliberately, and expect old and new binaries not to
+// interoperate. An accidental diff here is a protocol break that the
+// round-trip tests alone would not catch.
 func TestCodecGoldenFrames(t *testing.T) {
 	sparse := &tensor.SparseVec{N: 8, Indices: []int32{1, 2, 7}, Values: []float32{1, -2, 0.5}}
 	cases := []struct {
@@ -26,7 +27,14 @@ func TestCodecGoldenFrames(t *testing.T) {
 		{
 			name: "hello",
 			msg:  &helloMsg{clientID: 3, fingerprint: 0xDEADBEEFCAFE, quant: QuantF16},
-			hex:  "000d00000003000000fecaefbeadde000001",
+			hex:  "000f00000003000000fecaefbeadde0000010000",
+		},
+		{
+			// flags bit0 marks the rejoin; lastVersion 300 is the two-byte
+			// uvarint 0xac 0x02.
+			name: "rejoin hello",
+			msg:  &helloMsg{clientID: 2, fingerprint: 0xDEADBEEFCAFE, rejoin: true, lastVersion: 300},
+			hex:  "001000000002000000fecaefbeadde00000001ac02",
 		},
 		{
 			name: "round start",
@@ -84,6 +92,25 @@ func TestCodecGoldenFrames(t *testing.T) {
 			name: "dropout acknowledgement",
 			msg:  &Update{ClientID: 4},
 			hex:  "022800000004000000000000000000000000000000000000000000000000000000000000000000000000000000",
+		},
+		{
+			// Version 129 is the two-byte uvarint 0x81 0x01; the params
+			// block is the dense float32 form.
+			name: "catchup",
+			msg:  &Catchup{TaskIdx: 1, Seen: 2, Version: 129, Params: []float32{1, 2, 3}},
+			hex:  "0516000000010000000281010000030000803f0000004000004040",
+		},
+		{
+			name: "task-final catchup",
+			msg:  &Catchup{TaskIdx: 0, Seen: 3, Version: 5, TaskFinal: true, Params: []float32{1}},
+			hex:  "050d0000000000000003050100010000803f",
+		},
+		{
+			// TaskDone (flags bit1) with no payload: the rejoined seat
+			// already finished the task and just waits for the next one.
+			name: "task-done catchup",
+			msg:  &Catchup{TaskIdx: 2, Seen: 1, Version: 7, TaskDone: true},
+			hex:  "0509000000020000000107020000",
 		},
 		{
 			name: "round end",

@@ -31,6 +31,10 @@ func roundTrip(t *testing.T, m Msg) Msg {
 func TestCodecRoundTrip(t *testing.T) {
 	msgs := []Msg{
 		&helloMsg{clientID: 7, fingerprint: 0xDEADBEEFCAFE},
+		&helloMsg{clientID: 4, fingerprint: 99, rejoin: true, lastVersion: 1 << 40},
+		&Catchup{TaskIdx: 2, Seen: 3, Version: 300, Params: []float32{1, -2}},
+		&Catchup{TaskIdx: 0, Seen: 1, Version: 7, TaskFinal: true, Params: []float32{0.5}},
+		&Catchup{TaskIdx: 1, Seen: 2, Version: 9, TaskDone: true},
 		&RoundStart{TaskIdx: 3, Round: 14, Participate: true, TaskDone: true},
 		&RoundStart{},
 		&Update{ClientID: 2, Participating: true, Weight: 30,
@@ -349,6 +353,8 @@ func FuzzDecode(f *testing.F) {
 		&GlobalModel{Params: []float32{-1, 0.5}},
 		&GlobalModel{Params: append(make([]float32, 60), 2.5)}, // auto-sparse form
 		&RoundEnd{ClientID: 2, EvalAccs: []float64{0.1, 0.9}},
+		&helloMsg{clientID: 1, fingerprint: 2, rejoin: true, lastVersion: 5},
+		&Catchup{TaskIdx: 1, Seen: 2, Version: 3, TaskFinal: true, Params: []float32{1, 0, 0, 2}},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

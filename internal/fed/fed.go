@@ -133,6 +133,14 @@ type Config struct {
 	// run must agree — the scheduler changes results, so it is part of the
 	// job fingerprint.
 	Scheduler string
+	// SyncEvict lets the synchronous scheduler evict a client whose
+	// transport fails and keep the cohort going, instead of aborting the
+	// run (the default, kept for reproducibility: an eviction changes the
+	// dropout RNG draw sequence and the aggregation cohort, so two runs
+	// that lose different clients diverge). It changes results and is part
+	// of the job fingerprint; the asynchronous scheduler always evicts and
+	// ignores it.
+	SyncEvict bool
 	// Async configures the asynchronous scheduler; ignored when Scheduler is
 	// sync. See AsyncConfig for the defaults applied to zero fields.
 	Async AsyncConfig
@@ -189,7 +197,7 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 	const (
 		offset64      = 14695981039346656037 // FNV-1a
 		prime64       = 1099511628211
-		formatVersion = 3 // v3: global-version fields (async scheduler plumbing)
+		formatVersion = 4 // v4: rejoin hello + catch-up frames (wire-path rejoin)
 	)
 	h := uint64(offset64)
 	mix := func(v uint64) {
@@ -221,6 +229,11 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 		sched = SchedulerSync
 	}
 	mixStr(sched)
+	if cfg.SyncEvict {
+		mix(1)
+	} else {
+		mix(0)
+	}
 	mix(uint64(cfg.Async.CommitEvery))
 	mix(uint64(cfg.Async.MaxStaleness))
 	mix(math.Float64bits(cfg.Async.StalenessAlpha))
@@ -244,6 +257,7 @@ func (cfg Config) ServerConfigFor(numClients, numTasks int) ServerConfig {
 		DropoutProb: cfg.DropoutProb,
 		Seed:        cfg.Seed,
 		Scheduler:   cfg.Scheduler,
+		SyncEvict:   cfg.SyncEvict,
 		Async:       cfg.Async,
 	}
 }

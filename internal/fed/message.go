@@ -6,14 +6,16 @@ import "repro/internal/tensor"
 type Kind byte
 
 // Message kinds. KindHello is a transport-level frame used only during wire
-// connection setup (client identification); the other four are the §III-A
-// round lifecycle.
+// connection setup (client identification, fresh or rejoining); KindCatchup
+// is the server's reply to a rejoin hello; the remaining four are the
+// §III-A round lifecycle.
 const (
 	KindHello       Kind = 0
 	KindRoundStart  Kind = 1
 	KindUpdate      Kind = 2
 	KindGlobalModel Kind = 3
 	KindRoundEnd    Kind = 4
+	KindCatchup     Kind = 5
 )
 
 // Msg is one typed protocol message. The concrete types are RoundStart,
@@ -129,3 +131,39 @@ type RoundEnd struct {
 
 // Kind identifies the message type.
 func (*RoundEnd) Kind() Kind { return KindRoundEnd }
+
+// Catchup (server → client) is the reply to a rejoin hello: everything a
+// client that dropped mid-run needs to splice back into the asynchronous
+// round lifecycle without losing its local training state. The server sends
+// it once, on the fresh connection, before the normal message flow resumes.
+type Catchup struct {
+	// TaskIdx is the task currently being scheduled — the rejoining client
+	// may have missed task boundaries (and their RoundStart announcements)
+	// while it was gone, so the catch-up re-announces the position.
+	TaskIdx int
+	// Seen is how many of this client's uploads the server has already
+	// received for the current task — the round index to resume from. An
+	// upload lost in flight when the connection died is simply retrained:
+	// the server's count is authoritative.
+	Seen int
+	// Version is the current committed global-model version.
+	Version uint64
+	// Params is the current committed global model, the catch-up payload a
+	// stale client installs before resuming. Empty when there is nothing
+	// newer than the client's last-seen version (or nothing has been
+	// committed yet): the client keeps its local parameters.
+	Params []float32
+	// TaskFinal reports that the task's collect phase already closed and
+	// the task-final broadcast went out while the client was gone: Params
+	// is that final global, and the client should install it, evaluate,
+	// and reply RoundEnd instead of training further rounds.
+	TaskFinal bool
+	// TaskDone reports that this seat already completed the task (its
+	// RoundEnd was received before the connection dropped): the client
+	// installs Params to stay current and waits for the next task's
+	// RoundStart.
+	TaskDone bool
+}
+
+// Kind identifies the message type.
+func (*Catchup) Kind() Kind { return KindCatchup }

@@ -42,6 +42,15 @@ type Scheduler interface {
 // participants. A slow client therefore bounds the whole round — that is
 // the latency price of its bitwise reproducibility across parallelism
 // settings and transports.
+//
+// A transport failure aborts the run by default (fail-loudly: the
+// reproducibility contract treats a lost client as a broken experiment).
+// With ServerConfig.SyncEvict (-sync-evict) the failed client is evicted
+// instead and the cohort keeps going — which relaxes reproducibility: the
+// eviction changes the dropout RNG draw sequence and the aggregation
+// cohort from that round on, so runs that lose different clients diverge
+// (see docs/ARCHITECTURE.md). Protocol violations (impersonation,
+// mismatched lengths, wrong message kinds) still abort either way.
 type SyncScheduler struct{}
 
 // Name identifies the scheduling policy.
@@ -82,7 +91,10 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			}
 			rs := &RoundStart{TaskIdx: taskIdx, Round: round, Participate: !s.offline[i], TaskDone: taskDone}
 			if err := t.Send(rs); err != nil {
-				return s.runErr(ctx, fmt.Errorf("fed: round start to client %d: %w", i, err))
+				if err := sc.dropOrFail(ctx, s, res, taskIdx, i,
+					fmt.Errorf("fed: round start to client %d: %w", i, err)); err != nil {
+					return err
+				}
 			}
 		}
 		// Collect every alive client's update (dropped-out clients send an
@@ -104,7 +116,11 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			}
 			msg, err := t.Recv()
 			if err != nil {
-				return s.runErr(ctx, fmt.Errorf("fed: update from client %d: %w", i, err))
+				if err := sc.dropOrFail(ctx, s, res, taskIdx, i,
+					fmt.Errorf("fed: update from client %d: %w", i, err)); err != nil {
+					return err
+				}
+				continue
 			}
 			u, ok := msg.(*Update)
 			if !ok {
@@ -169,7 +185,10 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			gm := &GlobalModel{Params: global, Version: s.version}
 			for _, m := range s.metas {
 				if err := s.links[m.clientID].Send(gm); err != nil {
-					return s.runErr(ctx, fmt.Errorf("fed: global model to client %d: %w", m.clientID, err))
+					if err := sc.dropOrFail(ctx, s, res, taskIdx, m.clientID,
+						fmt.Errorf("fed: global model to client %d: %w", m.clientID, err)); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -190,6 +209,22 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	return nil
 }
 
+// dropOrFail is the lockstep answer to a transport failure: abort the run
+// with the error (the default — reproducibility treats a lost client as a
+// broken experiment), or, with SyncEvict, evict the client and keep the
+// cohort going — unless nobody is left, or the failure is really the
+// context cancelling.
+func (sc *SyncScheduler) dropOrFail(ctx context.Context, s *Server, res *Result, taskIdx, id int, err error) error {
+	if !s.cfg.SyncEvict || ctx.Err() != nil {
+		return s.runErr(ctx, err)
+	}
+	s.evict(res, taskIdx, id, err)
+	if s.AliveClients() == 0 {
+		return fmt.Errorf("fed: sync: all clients lost at task %d", taskIdx)
+	}
+	return nil
+}
+
 // collectRoundEnds gathers every alive client's task report: eviction flags
 // first, then the accuracy-matrix row averaged over the survivors.
 func (sc *SyncScheduler) collectRoundEnds(ctx context.Context, s *Server, taskIdx int, res *Result) error {
@@ -202,7 +237,11 @@ func (sc *SyncScheduler) collectRoundEnds(ctx context.Context, s *Server, taskId
 		}
 		msg, err := t.Recv()
 		if err != nil {
-			return s.runErr(ctx, fmt.Errorf("fed: round end from client %d: %w", i, err))
+			if err := sc.dropOrFail(ctx, s, res, taskIdx, i,
+				fmt.Errorf("fed: round end from client %d: %w", i, err)); err != nil {
+				return err
+			}
+			continue
 		}
 		re, ok := msg.(*RoundEnd)
 		if !ok {

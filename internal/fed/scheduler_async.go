@@ -10,11 +10,19 @@ import (
 )
 
 // schedEvent is one message (or terminal transport error) delivered by a
-// link's reader goroutine to the asynchronous scheduler's event loop.
+// link's reader goroutine to the asynchronous scheduler's event loop. gen
+// is the reader's link generation: a rejoin replaces a seat's link and
+// bumps the generation, so stragglers from the dead link are recognised and
+// dropped instead of being mistaken for the fresh one's traffic. ack is the
+// reader's private hand-back channel (nil on terminal errors): the event
+// loop signals it once the message — which may alias the link's decode
+// scratch — has been fully consumed.
 type schedEvent struct {
 	id  int
+	gen int
 	msg Msg
 	err error
+	ack chan struct{}
 }
 
 // AsyncScheduler is the staleness-bounded buffered-asynchronous policy
@@ -47,8 +55,14 @@ type schedEvent struct {
 //     accounting.
 //
 // A dropped transport does not abort the run: the client is evicted, logged
-// through ServerConfig.Logf, and the survivors keep scheduling (rejoin is
-// future work — see ROADMAP).
+// through ServerConfig.Logf, and the survivors keep scheduling. The seat is
+// not discarded — its parameter length, device clock and per-task upload
+// progress are retained — and when the server was given a rejoin source
+// (Server.SetRejoins), a client that reconnects with a rejoin hello is
+// re-admitted: the scheduler sends a Catchup (current task, uploads already
+// received, the current versioned global) on the fresh link and splices it
+// back into the reader set. See docs/ARCHITECTURE.md for the rejoin state
+// machine and the seat-retention contract.
 type AsyncScheduler struct {
 	commitK  int
 	maxStale int
@@ -56,7 +70,8 @@ type AsyncScheduler struct {
 
 	started bool
 	events  chan schedEvent
-	acks    []chan struct{}
+	gens    []int // per-seat link generation, bumped by each rejoin
+	rejoins <-chan RejoinRequest
 	stop    chan struct{}
 	readers sync.WaitGroup
 
@@ -111,8 +126,10 @@ func (*AsyncScheduler) Name() string { return SchedulerAsync }
 
 // Close releases the reader goroutines and waits for them to exit, so no
 // reader still touches a transport (e.g. WireTransport's byte counters)
-// after the server's Run returns. Blocked readers unblock through the stop
-// channel and through the server having closed every transport first.
+// after the server's Run returns. Blocked readers — including superseded
+// readers of links a rejoin replaced, which park on their private ack
+// channel — unblock through the stop channel and through the server having
+// closed every transport first.
 func (a *AsyncScheduler) Close() {
 	if a.started {
 		close(a.stop)
@@ -120,43 +137,60 @@ func (a *AsyncScheduler) Close() {
 	}
 }
 
-// start launches one reader goroutine per link. Readers deliver each
-// received message to the shared event channel and then wait for the event
-// loop's acknowledgement before the next Recv: a decoded message may alias
-// the transport's reusable decode buffers, so the reader must not decode
-// ahead while the event loop still reads the previous message. A terminal
-// error is delivered without waiting (the events channel has one slot per
-// reader, so shutdown never blocks a reader that nobody is draining).
+// start launches one reader goroutine per link and captures the server's
+// rejoin source.
 func (a *AsyncScheduler) start(s *Server) {
 	a.started = true
-	a.events = make(chan schedEvent, len(s.links))
-	a.acks = make([]chan struct{}, len(s.links))
+	a.events = make(chan schedEvent, 2*len(s.links)+4)
+	a.gens = make([]int, len(s.links))
+	a.rejoins = s.rejoins
 	a.clocks = make([]float64, len(s.links))
 	a.commClocks = make([]float64, len(s.links))
 	a.updatesSeen = make([]int, len(s.links))
 	for i, t := range s.links {
-		a.acks[i] = make(chan struct{}, 1)
-		a.readers.Add(1)
-		go func(id int, t Transport) {
-			defer a.readers.Done()
-			for {
-				m, err := t.Recv()
-				select {
-				case a.events <- schedEvent{id: id, msg: m, err: err}:
-				case <-a.stop:
-					return
-				}
-				if err != nil {
-					return
-				}
-				select {
-				case <-a.acks[id]:
-				case <-a.stop:
-					return
-				}
-			}
-		}(i, t)
+		a.startReader(i, t)
 	}
+}
+
+// startReader launches the reader goroutine of one link (the initial set,
+// and each rejoined replacement — splicing a fresh link into the reader set
+// is exactly this call). The reader delivers each received message to the
+// shared event channel and then waits for the event loop's acknowledgement
+// before the next Recv: a decoded message may alias the transport's
+// reusable decode buffers, so the reader must not decode ahead while the
+// event loop still reads the previous message. A terminal error is
+// delivered without waiting. The reader carries the seat's current link
+// generation; after a rejoin bumps it, the event loop drops anything the
+// old reader still had in flight and never acks it — the stale reader
+// parks until Close.
+func (a *AsyncScheduler) startReader(id int, t Transport) {
+	a.gens[id]++
+	gen := a.gens[id]
+	ack := make(chan struct{}, 1)
+	a.readers.Add(1)
+	go func() {
+		defer a.readers.Done()
+		for {
+			m, err := t.Recv()
+			ev := schedEvent{id: id, gen: gen, msg: m, err: err}
+			if err == nil {
+				ev.ack = ack
+			}
+			select {
+			case a.events <- ev:
+			case <-a.stop:
+				return
+			}
+			if err != nil {
+				return
+			}
+			select {
+			case <-ack:
+			case <-a.stop:
+				return
+			}
+		}
+	}()
 }
 
 // RunTask drives one task asynchronously: announce the task, fold uploads
@@ -193,16 +227,15 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 
 	// Collect phase: every alive client owes Rounds uploads.
 	for !a.allUploaded(s) {
-		ev, err := a.nextEvent(ctx)
+		ev, rq, err := a.nextEvent(ctx)
 		if err != nil {
 			return err
 		}
-		if !s.alive[ev.id] {
-			// A message can race its sender's eviction; drop it, but ack so
-			// the reader runs on to its terminal error.
-			if ev.err == nil {
-				a.acks[ev.id] <- struct{}{}
-			}
+		if rq != nil {
+			a.readmit(s, res, taskIdx, rq, nil, nil)
+			continue
+		}
+		if !a.current(s, ev) {
 			continue
 		}
 		if ev.err != nil {
@@ -219,7 +252,7 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		if err := a.handleUpdate(s, taskIdx, ev.id, u); err != nil {
 			return err
 		}
-		a.acks[ev.id] <- struct{}{}
+		ev.ack <- struct{}{}
 	}
 
 	// Flush the residual window so no accepted training is lost — also when
@@ -249,14 +282,15 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	reported := make([]bool, len(s.links))
 	pending := s.AliveClients()
 	for pending > 0 {
-		ev, err := a.nextEvent(ctx)
+		ev, rq, err := a.nextEvent(ctx)
 		if err != nil {
 			return err
 		}
-		if !s.alive[ev.id] {
-			if ev.err == nil {
-				a.acks[ev.id] <- struct{}{}
-			}
+		if rq != nil {
+			a.readmit(s, res, taskIdx, rq, reported, &pending)
+			continue
+		}
+		if !a.current(s, ev) {
 			continue
 		}
 		if ev.err != nil {
@@ -275,7 +309,7 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		}
 		reported[ev.id] = true
 		pending--
-		a.acks[ev.id] <- struct{}{}
+		ev.ack <- struct{}{}
 	}
 	s.fillMatrixRow(taskIdx, res)
 
@@ -286,14 +320,95 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	return nil
 }
 
-// nextEvent waits for the next reader delivery or cancellation.
-func (a *AsyncScheduler) nextEvent(ctx context.Context) (schedEvent, error) {
+// nextEvent waits for the next reader delivery, rejoin handshake, or
+// cancellation. Exactly one of the returns is set; the rejoin channel is
+// nil (never selected) when the server was given no rejoin source.
+func (a *AsyncScheduler) nextEvent(ctx context.Context) (schedEvent, *RejoinRequest, error) {
 	select {
 	case <-ctx.Done():
-		return schedEvent{}, ctx.Err()
+		return schedEvent{}, nil, ctx.Err()
 	case ev := <-a.events:
-		return ev, nil
+		return ev, nil, nil
+	case rq := <-a.rejoins:
+		return schedEvent{}, &rq, nil
 	}
+}
+
+// current filters one reader event against the seat's link generation and
+// liveness. A stale-generation event belongs to a link a rejoin already
+// replaced: it is dropped and never acked (the superseded reader parks
+// until Close). A current-generation event from an evicted seat — a message
+// racing an eviction triggered by a failed Send — is dropped but acked, so
+// its reader runs on to the closed link's terminal error.
+func (a *AsyncScheduler) current(s *Server, ev schedEvent) bool {
+	if ev.gen != a.gens[ev.id] {
+		return false
+	}
+	if !s.alive[ev.id] {
+		if ev.err == nil {
+			ev.ack <- struct{}{}
+		}
+		return false
+	}
+	return true
+}
+
+// readmit splices a rejoining client back into the run: the retained seat
+// (parameter length, device clock, upload progress, accuracy rows) comes
+// back alive on the fresh link, which first carries a Catchup telling the
+// client where to resume — the current task, how many of its uploads the
+// server already holds, and the current versioned global when the client's
+// last-seen version is behind. reported/pending are non-nil during the
+// finish phase, after the task-final broadcast: a seat that has not
+// reported yet is told TaskFinal (install, evaluate, report — it owes a
+// RoundEnd, so pending grows), one that already reported is told TaskDone
+// (wait for the next task). A rejoin for a seat that is still alive is
+// refused by closing the link — the client retries after the eviction
+// lands.
+func (a *AsyncScheduler) readmit(s *Server, res *Result, taskIdx int, rq *RejoinRequest, reported []bool, pending *int) {
+	id := rq.ClientID
+	if id < 0 || id >= len(s.links) {
+		s.logf("fed: async: refused rejoin for unknown client %d", id)
+		rq.Link.Close()
+		return
+	}
+	if s.alive[id] {
+		s.logf("fed: async: refused rejoin for client %d: seat is still alive", id)
+		rq.Link.Close()
+		return
+	}
+	cu := &Catchup{TaskIdx: taskIdx, Seen: a.updatesSeen[id], Version: s.version}
+	if s.version > rq.LastVersion {
+		cu.Params = a.global
+	}
+	if reported != nil {
+		if reported[id] {
+			cu.TaskDone = true
+		} else {
+			cu.TaskFinal = true
+			cu.Params = a.global
+		}
+	}
+	if err := rq.Link.Send(cu); err != nil {
+		s.logf("fed: async: rejoin catch-up to client %d failed: %v", id, err)
+		rq.Link.Close()
+		return
+	}
+	s.trafficMu.Lock()
+	if w, ok := s.links[id].(*WireTransport); ok {
+		s.retiredSent += w.BytesSent()
+		s.retiredRecv += w.BytesRecv()
+	}
+	s.links[id] = rq.Link
+	s.trafficMu.Unlock()
+	s.alive[id] = true
+	delete(res.DeadAfter, id)
+	if reported != nil && !reported[id] {
+		*pending++
+	}
+	a.startReader(id, rq.Link)
+	s.logf("fed: async: client %d rejoined at task %d (catch-up v%d, %d/%d uploads in)",
+		id, taskIdx, s.version, a.updatesSeen[id], s.cfg.Rounds)
 }
 
 // handleUpdate accounts, staleness-checks and folds one upload. The update
@@ -408,18 +523,11 @@ func (a *AsyncScheduler) allUploaded(s *Server) bool {
 	return true
 }
 
-// evict removes a client whose transport failed: mark it dead, record the
-// task it was lost at, close the link, log, and keep scheduling the
-// survivors. This is the asynchronous answer to churn — a dropped TCP
-// connection costs one client, not the run.
+// evict delegates to the server's shared eviction path — a dropped TCP
+// connection costs one seat, not the run, and the seat's retained state
+// stays ready for a rejoin.
 func (a *AsyncScheduler) evict(s *Server, res *Result, taskIdx, id int, err error) {
-	if !s.alive[id] {
-		return
-	}
-	s.alive[id] = false
-	res.DeadAfter[id] = taskIdx
-	s.links[id].Close()
-	s.logf("fed: async: evicted client %d at task %d: %v", id, taskIdx, err)
+	s.evict(res, taskIdx, id, err)
 }
 
 // maxOf returns the maximum element (0 for an empty slice).

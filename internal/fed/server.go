@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/tensor"
@@ -95,6 +96,9 @@ type ServerConfig struct {
 	// Scheduler selects the scheduling policy (SchedulerSync or
 	// SchedulerAsync; empty means sync) — see Config.Scheduler.
 	Scheduler string
+	// SyncEvict lets the synchronous scheduler evict a client whose
+	// transport fails instead of aborting the run — see Config.SyncEvict.
+	SyncEvict bool
 	// Async configures the asynchronous scheduler; ignored when Scheduler
 	// is sync.
 	Async AsyncConfig
@@ -128,6 +132,16 @@ type Server struct {
 	offline []bool
 	dropRNG *tensor.RNG
 	obs     RoundObserver
+	rejoins <-chan RejoinRequest
+
+	// retiredSent/retiredRecv accumulate the measured traffic of wire links
+	// replaced by a rejoin, so WireTraffic never loses the bytes a dropped
+	// connection already carried. trafficMu guards them and the links-slice
+	// swap a rejoin performs, so WireTraffic can be polled from another
+	// goroutine while the run is live.
+	trafficMu   sync.Mutex
+	retiredSent int64
+	retiredRecv int64
 
 	// version is the global model's commit version, monotone over the run:
 	// 0 is the shared initial model, and every commit (one per synchronous
@@ -197,6 +211,14 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 // SetObserver installs the streaming hook; call before Run.
 func (s *Server) SetObserver(o RoundObserver) { s.obs = o }
 
+// SetRejoins installs the source of rejoin handshakes (normally a
+// RejoinAcceptor's channel; tests inject loopback links directly); call
+// before Run. Only the asynchronous scheduler consumes rejoins — it retains
+// an evicted seat's state (parameter length, device clock, per-task upload
+// progress) and re-admits the seat with a Catchup reply; the synchronous
+// scheduler ignores the channel (lockstep has no mid-round splice point).
+func (s *Server) SetRejoins(ch <-chan RejoinRequest) { s.rejoins = ch }
+
 // AliveClients reports how many clients have not been evicted.
 func (s *Server) AliveClients() int {
 	n := 0
@@ -243,6 +265,39 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// evict removes a client whose transport failed: mark it dead, record the
+// task it was lost at, close the link, log, and let the scheduler keep
+// driving the survivors. The seat's books (accuracy rows, clocks, upload
+// progress) are retained, not discarded — a rejoining client is re-admitted
+// against them.
+func (s *Server) evict(res *Result, taskIdx, id int, err error) {
+	if !s.alive[id] {
+		return
+	}
+	s.alive[id] = false
+	res.DeadAfter[id] = taskIdx
+	s.links[id].Close()
+	s.logf("fed: %s: evicted client %d at task %d: %v", s.sched.Name(), id, taskIdx, err)
+}
+
+// WireTraffic reports the measured bytes sent and received across every
+// wire link the server has held, including connections retired when their
+// client rejoined on a fresh one. Loopback links carry no measured traffic
+// and count zero. Safe to call from any goroutine; mid-run totals are
+// approximate (links may still be transferring).
+func (s *Server) WireTraffic() (sent, recv int64) {
+	s.trafficMu.Lock()
+	defer s.trafficMu.Unlock()
+	sent, recv = s.retiredSent, s.retiredRecv
+	for _, l := range s.links {
+		if w, ok := l.(*WireTransport); ok {
+			sent += w.BytesSent()
+			recv += w.BytesRecv()
+		}
+	}
+	return sent, recv
 }
 
 // runErr reports a transport failure, preferring the context's error: when

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,14 +19,17 @@ type WireOptions struct {
 	Compression Compression
 	// Timeout bounds each Send and Recv when the underlying stream supports
 	// deadlines (net.Conn does): a hung or vanished peer surfaces as a
-	// timeout error instead of wedging the round forever. 0 disables. The
-	// timeout must exceed the longest interval a healthy peer can stay
-	// silent. Under the synchronous scheduler that is, for a client's Recv,
-	// a full round of every client's local training. Under the asynchronous
-	// scheduler it is longer: a fast client that finished its uploads idles
-	// at the task barrier while the slowest client trains its remaining
-	// rounds, so the timeout must exceed the straggler's whole task — or a
-	// healthy fast client is evicted for being early.
+	// timeout error instead of wedging the round forever. 0 disables.
+	//
+	// Without the rejoin path the timeout must exceed the longest interval
+	// a healthy peer can stay silent — under the asynchronous scheduler
+	// that is the slowest client's whole task, because a fast client idles
+	// at the task barrier while the straggler finishes, and a tighter bound
+	// would permanently evict it for being early. With rejoin enabled
+	// (server accepting rejoins, clients running RunReconnect) a timeout
+	// eviction is recoverable — the idle client simply reconnects with a
+	// catch-up handshake — so the timeout can be an honest per-message
+	// bound on link health instead.
 	Timeout time.Duration
 }
 
@@ -48,8 +53,11 @@ type WireTransport struct {
 	br    *bufio.Reader
 	codec Codec // per-link scratch: encode buffer and decode pools
 
-	sent int64
-	recv int64
+	// Byte counters are atomics: each direction is driven by one goroutine,
+	// but the totals are read concurrently from others (the server's
+	// traffic summary, observers polling mid-run).
+	sent atomic.Int64
+	recv atomic.Int64
 }
 
 // NewWire wraps a connected byte stream in a Transport with default options.
@@ -70,15 +78,19 @@ func NewWireWith(conn io.ReadWriteCloser, opts WireOptions) *WireTransport {
 	return w
 }
 
-// Send encodes and flushes one frame.
+// Send encodes and flushes one frame. A failure to arm the write deadline
+// (a closed or broken socket) surfaces immediately as that error, not as a
+// confusing EOF from a later call.
 func (w *WireTransport) Send(m Msg) error {
 	if w.dl != nil && w.opts.Timeout > 0 {
-		w.dl.SetWriteDeadline(time.Now().Add(w.opts.Timeout))
+		if err := w.dl.SetWriteDeadline(time.Now().Add(w.opts.Timeout)); err != nil {
+			return fmt.Errorf("fed: arming write deadline: %w", err)
+		}
 	}
 	if err := w.codec.Encode(w.bw, m); err != nil {
 		return err
 	}
-	w.sent += 5 + int64(len(w.codec.enc))
+	w.sent.Add(5 + int64(len(w.codec.enc)))
 	return w.bw.Flush()
 }
 
@@ -90,20 +102,23 @@ func (w *WireTransport) Send(m Msg) error {
 // zero-copy aliasing contract.
 func (w *WireTransport) Recv() (Msg, error) {
 	if w.dl != nil && w.opts.Timeout > 0 {
-		w.dl.SetReadDeadline(time.Now().Add(w.opts.Timeout))
+		if err := w.dl.SetReadDeadline(time.Now().Add(w.opts.Timeout)); err != nil {
+			return nil, fmt.Errorf("fed: arming read deadline: %w", err)
+		}
 	}
 	m, n, err := w.codec.decodeFrame(w.br)
-	w.recv += int64(n)
+	w.recv.Add(int64(n))
 	return m, err
 }
 
 // BytesSent reports the total frame bytes written so far — the measured
 // (post-encoding) wire traffic, as opposed to the protocol's simulated
-// dense-model accounting.
-func (w *WireTransport) BytesSent() int64 { return w.sent }
+// dense-model accounting. Safe to call from any goroutine.
+func (w *WireTransport) BytesSent() int64 { return w.sent.Load() }
 
-// BytesRecv reports the total frame bytes read so far.
-func (w *WireTransport) BytesRecv() int64 { return w.recv }
+// BytesRecv reports the total frame bytes read so far. Safe to call from
+// any goroutine.
+func (w *WireTransport) BytesRecv() int64 { return w.recv.Load() }
 
 // Close tears down the underlying stream.
 func (w *WireTransport) Close() error { return w.conn.Close() }
@@ -152,6 +167,15 @@ func ServeWith(ln net.Listener, numClients int, fingerprint uint64, opts WireOpt
 			conn.Close()
 			return nil, fmt.Errorf("fed: connection %d sent %T before hello", k, msg)
 		}
+		if hello.rejoin {
+			// A rejoin raced the fresh cohort's handshake (a client retrying
+			// from an earlier run, or re-dialing before the acceptor is up):
+			// refuse this connection without failing the cohort — the client
+			// backs off and retries.
+			t.Close()
+			k--
+			continue
+		}
 		if hello.clientID < 0 || hello.clientID >= numClients {
 			conn.Close()
 			return nil, fmt.Errorf("fed: hello client id %d out of range [0,%d)", hello.clientID, numClients)
@@ -195,4 +219,179 @@ func DialWith(addr string, id int, fingerprint uint64, opts WireOptions) (Transp
 		return nil, err
 	}
 	return t, nil
+}
+
+// DialRejoin reconnects a dropped client with default options; see
+// DialRejoinWith.
+func DialRejoin(addr string, id int, fingerprint uint64, lastVersion uint64) (Transport, error) {
+	return DialRejoinWith(addr, id, fingerprint, lastVersion, WireOptions{})
+}
+
+// DialRejoinWith reconnects a dropped client: it dials the server and sends
+// a rejoin hello carrying the client ID, the job fingerprint, and the
+// client's last-seen global version. The server (when it accepts rejoins —
+// see ServeRejoinWith) replies with one Catchup frame on this transport
+// before the normal message flow resumes; a refusal (live seat, fingerprint
+// mismatch, rejoin not enabled) surfaces as the connection closing without
+// a Catchup. Client.RunReconnect wraps this in a capped-backoff retry loop.
+func DialRejoinWith(addr string, id int, fingerprint uint64, lastVersion uint64, opts WireOptions) (Transport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := NewWireWith(conn, opts)
+	if err := t.Send(&helloMsg{clientID: id, fingerprint: fingerprint,
+		quant: opts.Compression.Quant, rejoin: true, lastVersion: lastVersion}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// RejoinRequest is one validated rejoin handshake: a dropped client that
+// re-dialed, passed the fingerprint and compression checks, and waits on
+// Link for the server's Catchup reply. The scheduler that consumes it
+// either re-admits the seat (sending the Catchup and splicing Link into
+// its reader set) or refuses by closing Link.
+type RejoinRequest struct {
+	// ClientID is the seat the client claims; the scheduler refuses the
+	// request when that seat is still alive.
+	ClientID int
+	// LastVersion is the client's last-installed global version, from the
+	// rejoin hello; the catch-up payload is omitted when the server has
+	// nothing newer.
+	LastVersion uint64
+	// Link is the fresh transport, already past the hello.
+	Link Transport
+}
+
+// RejoinAcceptor keeps accepting connections on a listener after the fresh
+// cohort has joined, validating each rejoin hello (fingerprint, value
+// encoding, ID range) and delivering the survivors as RejoinRequests. It is
+// the wire half of churn recovery: pair it with Server.SetRejoins so the
+// asynchronous scheduler can re-admit the seats.
+type RejoinAcceptor struct {
+	ln          net.Listener
+	numClients  int
+	fingerprint uint64
+	opts        WireOptions
+	ch          chan RejoinRequest
+
+	mu       sync.Mutex
+	pending  map[io.Closer]struct{} // connections mid-handshake
+	stopped  bool
+	stop     chan struct{}
+	loopDone chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ServeRejoin is ServeRejoinWith with default options.
+func ServeRejoin(ln net.Listener, numClients int, fingerprint uint64) ([]Transport, *RejoinAcceptor, error) {
+	return ServeRejoinWith(ln, numClients, fingerprint, WireOptions{})
+}
+
+// ServeRejoinWith accepts the fresh cohort exactly like ServeWith, then
+// keeps the listener open: a background accept loop admits rejoin hellos
+// for the rest of the run and delivers them on the acceptor's Rejoins
+// channel. The caller must not close ln — the acceptor owns it now; call
+// the acceptor's Close after the run. Wire the channel into the server with
+// SetRejoins before Run.
+func ServeRejoinWith(ln net.Listener, numClients int, fingerprint uint64, opts WireOptions) ([]Transport, *RejoinAcceptor, error) {
+	links, err := ServeWith(ln, numClients, fingerprint, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := &RejoinAcceptor{
+		ln: ln, numClients: numClients, fingerprint: fingerprint, opts: opts,
+		ch:      make(chan RejoinRequest, numClients),
+		pending: make(map[io.Closer]struct{}),
+		stop:    make(chan struct{}), loopDone: make(chan struct{}),
+	}
+	go g.loop()
+	return links, g, nil
+}
+
+// Rejoins is the stream of validated rejoin handshakes; pass it to
+// Server.SetRejoins.
+func (g *RejoinAcceptor) Rejoins() <-chan RejoinRequest { return g.ch }
+
+// Close shuts the acceptor down: the listener closes, in-flight handshakes
+// are severed, and any validated rejoins nobody consumed are closed so
+// their clients' Recv fails fast instead of hanging.
+func (g *RejoinAcceptor) Close() error {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return nil
+	}
+	g.stopped = true
+	close(g.stop)
+	for c := range g.pending {
+		c.Close()
+	}
+	g.mu.Unlock()
+	err := g.ln.Close()
+	<-g.loopDone
+	g.wg.Wait()
+	for {
+		select {
+		case rq := <-g.ch:
+			rq.Link.Close()
+		default:
+			return err
+		}
+	}
+}
+
+// loop accepts connections until the listener closes, handing each to a
+// handshake goroutine so one silent dialer cannot block later rejoins.
+func (g *RejoinAcceptor) loop() {
+	defer close(g.loopDone)
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.stopped {
+			g.mu.Unlock()
+			conn.Close()
+			return
+		}
+		g.pending[conn] = struct{}{}
+		g.wg.Add(1)
+		g.mu.Unlock()
+		go g.handshake(conn)
+	}
+}
+
+// handshake validates one rejoin hello. Anything but a well-formed rejoin
+// from an in-range seat with the right fingerprint and value encoding is
+// refused by closing the connection — the client's retry loop handles it.
+func (g *RejoinAcceptor) handshake(conn net.Conn) {
+	defer g.wg.Done()
+	defer func() {
+		g.mu.Lock()
+		delete(g.pending, conn)
+		g.mu.Unlock()
+	}()
+	t := NewWireWith(conn, g.opts)
+	msg, err := t.Recv()
+	if err != nil {
+		t.Close()
+		return
+	}
+	hello, ok := msg.(*helloMsg)
+	if !ok || !hello.rejoin ||
+		hello.clientID < 0 || hello.clientID >= g.numClients ||
+		(g.fingerprint != 0 && hello.fingerprint != g.fingerprint) ||
+		hello.quant != g.opts.Compression.Quant {
+		t.Close()
+		return
+	}
+	select {
+	case g.ch <- RejoinRequest{ClientID: hello.clientID, LastVersion: hello.lastVersion, Link: t}:
+	case <-g.stop:
+		t.Close()
+	}
 }
