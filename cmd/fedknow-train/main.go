@@ -38,6 +38,14 @@
 // without losing local training state. Under -scheduler sync a dropped
 // connection aborts the run by default (reproducibility); -sync-evict opts
 // into evicting the lost client and finishing with the survivors.
+//
+// The server itself is crash-only with -snapshot-dir: every commit and task
+// boundary is atomically snapshotted (versioned global plus the full seat
+// book), and a restarted server process finding a snapshot resumes the run
+// at the recorded task and version, re-admitting the -reconnect cohort
+// through the same rejoin path — clients retrain at most the uploads since
+// the last commit. -snapshot-keep bounds how many previous snapshots are
+// retained as torn-write fallbacks.
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"net"
 	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/data"
 	"repro/internal/device"
 	"repro/internal/experiments"
@@ -61,7 +70,9 @@ import (
 type job struct {
 	cfg       fed.Config
 	wire      fed.WireOptions
-	reconnect int // client role: max consecutive rejoin attempts (0 = off)
+	reconnect int    // client role: max consecutive rejoin attempts (0 = off)
+	snapDir   string // server role: durable snapshot directory ("" = off)
+	snapKeep  int    // server role: previous snapshots kept besides the newest
 	fam     data.Family
 	scale   data.Scale
 	arch    string
@@ -99,6 +110,8 @@ func main() {
 	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
 	reconnect := flag.Int("reconnect", 0, "client role: rejoin a dropped connection with a catch-up handshake, retrying up to N consecutive times under capped exponential backoff (requires -scheduler async; 0 disables)")
 	syncEvict := flag.Bool("sync-evict", false, "sync scheduler: evict a client whose connection drops and keep the cohort going instead of aborting the run (relaxes lockstep reproducibility; every process of one run must agree)")
+	snapshotDir := flag.String("snapshot-dir", "", "server role: durably snapshot the versioned global and the full seat book to this directory at every commit and task boundary; a restarted server finding a snapshot here resumes the run, re-admitting -reconnect clients through the rejoin path (requires -listen; restart recovery requires -scheduler async)")
+	snapshotKeep := flag.Int("snapshot-keep", 1, "previous snapshots retained besides the newest (negative keeps all)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 
@@ -120,6 +133,10 @@ func main() {
 	}
 	if *syncEvict && *scheduler != fed.SchedulerSync {
 		fmt.Fprintln(os.Stderr, "-sync-evict only applies to -scheduler sync (async always evicts and supports rejoin)")
+		os.Exit(2)
+	}
+	if *snapshotDir != "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "-snapshot-dir requires -listen (snapshots capture the wire server's seat book; loopback runs have no rejoin path to restore through)")
 		os.Exit(2)
 	}
 	quant, ok := fed.QuantByName(*compress)
@@ -180,6 +197,8 @@ func main() {
 			Timeout:     *wireTimeout,
 		},
 		reconnect: *reconnect,
+		snapDir:   *snapshotDir,
+		snapKeep:  *snapshotKeep,
 		fam: fam, scale: sc, arch: architecture, width: rt.Width,
 		clients: rt.Clients, tasks: len(tasks), ds: ds, seqs: seqs,
 		cluster: device.Jetson20(),
@@ -246,8 +265,28 @@ func runLoopback(j *job) {
 // runServe is the server role of a distributed run: accept one TCP
 // connection per client, schedule the rounds, aggregate, stream results.
 // Under the async scheduler the listener stays open for the whole run,
-// accepting catch-up rejoins from clients whose connections dropped.
+// accepting catch-up rejoins from clients whose connections dropped. With
+// -snapshot-dir the server is crash-only: every commit and task boundary is
+// durably snapshotted (the store is opened — and its directory probed for
+// writability — before any client connects, so a misconfiguration fails
+// fast), and a restart that finds a snapshot resumes from it instead of
+// starting fresh.
 func runServe(j *job, addr string) error {
+	var store *checkpoint.Store
+	if j.snapDir != "" {
+		var err error
+		store, err = checkpoint.OpenStore(j.snapDir, j.snapKeep, j.fingerprint())
+		if err != nil {
+			return err
+		}
+		snap, err := store.Load()
+		if err != nil {
+			return err
+		}
+		if snap != nil {
+			return runRestore(j, addr, store, snap)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -271,12 +310,58 @@ func runServe(j *job, addr string) error {
 	if acceptor != nil {
 		srv.SetRejoins(acceptor.Rejoins())
 	}
+	if store != nil {
+		srv.SetSnapshots(store)
+	}
 	srv.SetObserver(streamRows())
 	banner(j, "wire")
 	_, err = srv.Run(context.Background())
 	if err == nil {
 		// WireTraffic also counts connections retired by a rejoin, so the
 		// summary never loses the bytes a dropped link already carried.
+		sent, recv := srv.WireTraffic()
+		fmt.Printf("measured wire traffic (%s): %.2f MB sent, %.2f MB received\n",
+			j.wire.Compression.Quant, float64(sent)/(1<<20), float64(recv)/(1<<20))
+	}
+	return err
+}
+
+// runRestore is the crash-recovery server role: rebuild the books from the
+// newest durable snapshot, reopen the listener for rejoin hellos only (the
+// cohort already exists — every client holds local training state and
+// re-admits itself), and resume the run at the snapshotted task and global
+// version. Clients running -reconnect just redial; each loses at most the
+// uploads since the last commit, which it retrains because the restored
+// Seen counts are authoritative.
+func runRestore(j *job, addr string, store *checkpoint.Store, snap *checkpoint.ServerSnapshot) error {
+	if j.cfg.Scheduler != fed.SchedulerAsync {
+		return fmt.Errorf("snapshot found in %s, but restart recovery requires -scheduler async (lockstep has no rejoin path to re-admit the cohort through)", store.Dir())
+	}
+	srv, err := fed.NewServerFromSnapshot(j.cfg.ServerConfigFor(j.clients, j.tasks), nil, snap)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	acceptor := fed.AcceptRejoins(ln, j.clients, j.fingerprint(), j.wire)
+	defer acceptor.Close()
+	srv.SetRejoins(acceptor.Rejoins())
+	srv.SetSnapshots(store)
+	srv.SetObserver(streamRows())
+	if snap.TaskIdx >= j.tasks {
+		// The final boundary cut: the crashed process had already finished
+		// every task, so there is nothing to resume — reprint the summary.
+		fmt.Printf("restored snapshot %d from %s: the run already completed all %d tasks at global version %d\n",
+			snap.Seq, store.Dir(), j.tasks, snap.Version)
+	} else {
+		fmt.Printf("restored snapshot %d from %s: resuming at task %d/%d, global version %d; waiting for rejoins on %s\n",
+			snap.Seq, store.Dir(), snap.TaskIdx+1, j.tasks, snap.Version, ln.Addr())
+	}
+	banner(j, "wire")
+	_, err = srv.Run(context.Background())
+	if err == nil {
 		sent, recv := srv.WireTraffic()
 		fmt.Printf("measured wire traffic (%s): %.2f MB sent, %.2f MB received\n",
 			j.wire.Compression.Quant, float64(sent)/(1<<20), float64(recv)/(1<<20))

@@ -2,20 +2,25 @@
 // in-process over the loopback transport, over real localhost TCP with the
 // wire transport (one goroutine per client endpoint, exactly the code a
 // separate client process would run), over TCP again with opt-in fp16
-// compression, and finally a chaos leg: the asynchronous scheduler with one
+// compression, and then two chaos legs: the asynchronous scheduler with one
 // client's TCP connection killed mid-task, which rejoins through the
-// catch-up handshake and finishes the run with no seat lost. The first
-// three legs end with a field-by-field comparison showing the lossless wire
-// run is bit-identical to loopback and a bytes-on-the-wire comparison
-// showing what the compressed run saves; the chaos leg asserts the rejoined
-// run completes every task with the cohort restored.
+// catch-up handshake and finishes the run with no seat lost; and a
+// server-kill leg, where the server itself dies mid-task and a replacement
+// is rebuilt from its newest durable snapshot on the same address — the
+// whole cohort redials through the rejoin path and the run completes with
+// every task reported exactly once. The first three legs end with a
+// field-by-field comparison showing the lossless wire run is bit-identical
+// to loopback and a bytes-on-the-wire comparison showing what the
+// compressed run saves; the chaos legs assert the run completes with the
+// cohort restored.
 //
 // This is the protocol seam in action: the server never sees data, models or
 // strategies, only typed round messages (RoundStart → Update → GlobalModel →
 // RoundEnd), so the simulator is just one binding of a real protocol.
 //
-// Run with -short for a CI-sized configuration, and -leg rejoin to run only
-// the kill-and-rejoin chaos leg (CI runs it under the race detector).
+// Run with -short for a CI-sized configuration, -leg rejoin to run only the
+// kill-and-rejoin chaos leg, and -leg crash to run only the server-kill
+// crash-restart leg (CI runs both under the race detector).
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/device"
@@ -38,10 +44,10 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "shrink the run for CI")
-	leg := flag.String("leg", "all", "all, or rejoin (the kill-and-rejoin chaos leg only)")
+	leg := flag.String("leg", "all", "all, rejoin (kill-and-rejoin only), or crash (server-kill restart only)")
 	flag.Parse()
-	if *leg != "all" && *leg != "rejoin" {
-		fail(fmt.Errorf("unknown -leg %q (all, rejoin)", *leg))
+	if *leg != "all" && *leg != "rejoin" && *leg != "crash" {
+		fail(fmt.Errorf("unknown -leg %q (all, rejoin, crash)", *leg))
 	}
 
 	// 1. Shared job definition. Every process of a wire run derives this
@@ -71,6 +77,10 @@ func main() {
 
 	if *leg == "rejoin" {
 		runKillRejoin(cfg, numClients, numTasks, cluster, seqs, build, factory)
+		return
+	}
+	if *leg == "crash" {
+		runCrashRestart(cfg, numClients, numTasks, cluster, seqs, build, factory)
 		return
 	}
 
@@ -131,6 +141,10 @@ func main() {
 
 	// 6. Chaos: kill a client's connection mid-task and watch it rejoin.
 	runKillRejoin(cfg, numClients, numTasks, cluster, seqs, build, factory)
+
+	// 7. Chaos, harder: kill the server itself mid-task and restart it from
+	// its newest durable snapshot.
+	runCrashRestart(cfg, numClients, numTasks, cluster, seqs, build, factory)
 }
 
 // runKillRejoin is the churn leg: the same job under the asynchronous
@@ -236,6 +250,150 @@ func runKillRejoin(cfg fed.Config, numClients, numTasks int, cluster *device.Clu
 	fmt.Printf("client %d was killed mid-task, rejoined, and the run completed all %d tasks\n",
 		victim, numTasks)
 	fmt.Printf("measured wire traffic incl. the retired link: %.2f MB sent, %.2f MB received\n",
+		float64(sent)/(1<<20), float64(recv)/(1<<20))
+}
+
+// runCrashRestart is the server-kill leg: the same asynchronous job, with
+// durable snapshots on (-snapshot-dir in the CLI; a checkpoint.Store here).
+// At the first commit of the second task the server "crashes" — its run is
+// cancelled and its listener closed, exactly what kill -9 leaves behind — and
+// a replacement process is simulated: reopen the store, load the newest
+// snapshot, rebuild the server from it on the same address, and accept
+// rejoins. Every client runs under RunReconnect, so the whole cohort redials
+// with the catch-up handshake and retrains at most the uploads the crash cut
+// had not yet seen. The bar: the run completes, every task is reported
+// exactly once across the process boundary, and no seat is lost.
+func runCrashRestart(cfg fed.Config, numClients, numTasks int, cluster *device.Cluster,
+	seqs [][]data.ClientTask, build func(*tensor.RNG) *model.Model, factory fed.Factory) {
+	fmt.Println("\n=== wire run with server kill and snapshot restart (async scheduler) ===")
+	acfg := cfg
+	acfg.DropoutProb = 0
+	acfg.Scheduler = fed.SchedulerAsync
+	acfg.Async = fed.AsyncConfig{CommitEvery: 1, StalenessAlpha: 0.5}
+	aprint := acfg.Fingerprint("CIFAR100", "SixCNN",
+		fmt.Sprint(numClients), fmt.Sprint(numTasks))
+
+	dir, err := os.MkdirTemp("", "fedknow-snap-")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := checkpoint.OpenStore(dir, 2, aprint)
+	if err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	addr := ln.Addr().String()
+	fmt.Printf("server on %s, snapshots in %s\n", addr, dir)
+
+	var wg sync.WaitGroup
+	for id := 0; id < numClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := fed.NewWireClient(acfg, id, numClients, cluster.Devices[id%cluster.Size()],
+				seqs[id], build, factory)
+			err := c.RunReconnect(context.Background(), fed.Reconnect{
+				Addr: addr, Fingerprint: aprint, Attempts: 400,
+				BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond,
+			})
+			if err != nil {
+				fail(fmt.Errorf("reconnecting client %d: %w", id, err))
+			}
+		}(id)
+	}
+
+	// Incarnation one: snapshots on, killed at the first commit of task 2.
+	links, acceptor, err := fed.ServeRejoin(ln, numClients, aprint)
+	if err != nil {
+		fail(err)
+	}
+	srv := fed.NewServer(acfg.ServerConfigFor(numClients, numTasks), nil, links)
+	srv.SetRejoins(acceptor.Rejoins())
+	srv.SetSnapshots(store)
+	crashCtx, crash := context.WithCancel(context.Background())
+	var kill sync.Once
+	srv.SetObserver(fed.ObserverFuncs{
+		Round: func(s fed.RoundStats) {
+			if s.TaskIdx >= 1 && s.Participants > 0 {
+				kill.Do(func() {
+					fmt.Printf("  >> killing the server after commit v%d of task %d\n", s.Version, s.TaskIdx+1)
+					crash()
+				})
+			}
+		},
+		Task: printTask,
+	})
+	if _, err := srv.Run(crashCtx); err == nil {
+		fail(fmt.Errorf("killed run completed instead of returning its cancellation"))
+	}
+	acceptor.Close()
+
+	// Incarnation two: rebind the same address the clients are redialing,
+	// reopen the store like a fresh process, restore, and accept rejoins.
+	var ln2 net.Listener
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(10 * time.Millisecond) {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail(fmt.Errorf("rebinding %s: %w", addr, err))
+		}
+	}
+	store2, err := checkpoint.OpenStore(dir, 2, aprint)
+	if err != nil {
+		fail(err)
+	}
+	snap, err := store2.Load()
+	if err != nil {
+		fail(fmt.Errorf("loading the crash cut: %w", err))
+	}
+	if snap == nil {
+		fail(fmt.Errorf("no snapshot on disk after the kill"))
+	}
+	fmt.Printf("  >> restored snapshot %d: resuming at task %d/%d, global version %d\n",
+		snap.Seq, snap.TaskIdx+1, numTasks, snap.Version)
+	srv2, err := fed.NewServerFromSnapshot(acfg.ServerConfigFor(numClients, numTasks), nil, snap)
+	if err != nil {
+		fail(fmt.Errorf("restore: %w", err))
+	}
+	acceptor2 := fed.AcceptRejoins(ln2, numClients, aprint, fed.WireOptions{})
+	defer acceptor2.Close()
+	srv2.SetRejoins(acceptor2.Rejoins())
+	srv2.SetSnapshots(store2)
+	srv2.SetObserver(fed.ObserverFuncs{Task: printTask})
+	res, err := srv2.Run(context.Background())
+	if err != nil {
+		fail(fmt.Errorf("restored server must complete the run: %w", err))
+	}
+	wg.Wait()
+
+	// The crash acceptance bar: all tasks exactly once, cohort restored,
+	// books intact across the process boundary.
+	if len(res.PerTask) != numTasks {
+		fail(fmt.Errorf("run finished %d of %d tasks across the restart", len(res.PerTask), numTasks))
+	}
+	for i, tp := range res.PerTask {
+		if tp.TaskIdx != i {
+			fail(fmt.Errorf("task point %d reports task %d: duplicated or skipped across the restart", i, tp.TaskIdx))
+		}
+		if tp.AvgAccuracy <= 0 {
+			fail(fmt.Errorf("task %d has no recorded accuracy", i+1))
+		}
+	}
+	if alive := srv2.AliveClients(); alive != numClients {
+		fail(fmt.Errorf("%d of %d clients alive: the cohort did not rejoin the restarted server", alive, numClients))
+	}
+	if len(res.DeadAfter) != 0 {
+		fail(fmt.Errorf("DeadAfter = %v, want empty after the restart", res.DeadAfter))
+	}
+	sent, recv := srv2.WireTraffic()
+	fmt.Printf("server was killed mid-task, restarted from its snapshot, and the run completed all %d tasks\n", numTasks)
+	fmt.Printf("measured wire traffic incl. the pre-crash carry: %.2f MB sent, %.2f MB received\n",
 		float64(sent)/(1<<20), float64(recv)/(1<<20))
 }
 

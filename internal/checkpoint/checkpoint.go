@@ -1,8 +1,16 @@
-// Package checkpoint serialises model parameters and FedKNOW knowledge
-// stores so edge clients can persist state across restarts (the deployment
-// concern behind the paper's on-device design: a client must survive a
-// reboot without re-learning its task history). The format is a small
-// self-describing little-endian binary layout built on encoding/binary.
+// Package checkpoint serialises model parameters, FedKNOW knowledge stores,
+// and server seat-book snapshots so both edge clients and the federation
+// server can persist state across restarts (the deployment concern behind
+// the paper's on-device design: a process must survive a reboot without
+// re-learning its task history). The format is a small self-describing
+// little-endian binary layout built on encoding/binary; server snapshots
+// add a CRC-32 trailer and an atomic sequence-numbered Store (see
+// ServerSnapshot and Store in snapshot.go).
+//
+// Decoders never trust a header's element count for allocation: slices grow
+// chunk by chunk with the bytes actually read, so a truncated or corrupt
+// file fails with a clean error after at most one chunk instead of
+// attempting a multi-GB allocation.
 package checkpoint
 
 import (
@@ -99,8 +107,8 @@ func ReadKnowledge(r io.Reader) (taskID int, classes []int, s *prune.SparseStore
 		}
 		classes[i] = int(c)
 	}
-	s = &prune.SparseStore{N: n, Indices: make([]int32, k)}
-	if err = binary.Read(r, binary.LittleEndian, s.Indices); err != nil {
+	s = &prune.SparseStore{N: n}
+	if s.Indices, err = readI32s(r, k); err != nil {
 		return 0, nil, nil, err
 	}
 	if s.Values, err = readF32s(r, k); err != nil {
@@ -118,14 +126,40 @@ func writeF32s(w io.Writer, vals []float32) error {
 	return err
 }
 
+// readChunk is the per-read element budget of the chunked decoders (1 MiB
+// of file bytes for 4-byte elements): the output slice grows with the data
+// actually present, so an attacker-controlled (or torn-write-corrupted)
+// count cannot drive a huge up-front allocation.
+const readChunk = 1 << 18
+
 func readF32s(r io.Reader, n int) ([]float32, error) {
-	buf := make([]byte, 4*n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	out := make([]float32, 0, min(n, readChunk))
+	buf := make([]byte, 4*min(n, readChunk))
+	for len(out) < n {
+		c := min(n-len(out), readChunk)
+		b := buf[:4*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+		}
 	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	return out, nil
+}
+
+func readI32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, min(n, readChunk))
+	buf := make([]byte, 4*min(n, readChunk))
+	for len(out) < n {
+		c := min(n-len(out), readChunk)
+		b := buf[:4*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(b[4*i:])))
+		}
 	}
 	return out, nil
 }

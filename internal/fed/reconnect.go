@@ -8,6 +8,8 @@ import (
 	"net"
 	"syscall"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // Default retry policy of Client.RunReconnect, used for zero Reconnect
@@ -106,11 +108,17 @@ func (c *Client) rejoin(ctx context.Context, rc Reconnect) (Transport, *Catchup,
 	if maxDelay <= 0 {
 		maxDelay = DefaultReconnectMaxDelay
 	}
+	// Jittered backoff: a server restart disconnects the whole cohort at the
+	// same instant, and without jitter every client's exponential schedule
+	// stays phase-locked — each retry wave slams the recovering listener at
+	// once (thundering herd). The jitter RNG is seeded from the client ID so
+	// the cohort decorrelates while every run of a test remains reproducible.
+	rng := tensor.NewRNG(reconnectJitterSeed(c.ctx.ID))
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(delay):
+			case <-time.After(jitterDelay(rng, delay)):
 			case <-ctx.Done():
 				return nil, nil, ctx.Err()
 			}
@@ -142,6 +150,26 @@ func (c *Client) rejoin(ctx context.Context, rc Reconnect) (Transport, *Catchup,
 		return t, &out, nil
 	}
 	return nil, nil, fmt.Errorf("fed: client %d gave up rejoining after %d attempts: %w", c.ctx.ID, attempts, lastErr)
+}
+
+// reconnectJitterSeed derives a client's deterministic jitter seed: distinct
+// per client (decorrelating the herd) and stable across runs (keeping tests
+// reproducible). The multiplier is the 64-bit golden-ratio constant, so
+// adjacent IDs land far apart in seed space.
+func reconnectJitterSeed(id int) uint64 {
+	return uint64(id)*0x9E3779B97F4A7C15 + 0xFEDC0006
+}
+
+// jitterDelay applies full-jitter to one backoff step: a uniform draw from
+// [d/2, d), preserving the exponential schedule's cap and order of
+// magnitude while spreading a cohort's simultaneous retries across half the
+// window.
+func jitterDelay(rng *tensor.RNG, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Float64()*float64(half))
 }
 
 // resume continues the asynchronous lifecycle on a rejoined transport,

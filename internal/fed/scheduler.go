@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/device"
 )
 
@@ -51,7 +52,18 @@ type Scheduler interface {
 // cohort from that round on, so runs that lose different clients diverge
 // (see docs/ARCHITECTURE.md). Protocol violations (impersonation,
 // mismatched lengths, wrong message kinds) still abort either way.
-type SyncScheduler struct{}
+//
+// With a snapshot sink installed (Server.SetSnapshots) the lockstep policy
+// writes a durable cut at every round commit and task boundary, but it
+// cannot be restored from one: re-admitting a cohort requires the rejoin
+// splice point only the asynchronous scheduler has, so
+// NewServerFromSnapshot refuses sync configs. Sync snapshots are an audit
+// trail, not a recovery point.
+type SyncScheduler struct {
+	// global retains the last committed model for snapshot cuts; only
+	// maintained when a snapshot sink is installed.
+	global []float32
+}
 
 // Name identifies the scheduling policy.
 func (*SyncScheduler) Name() string { return SchedulerSync }
@@ -182,6 +194,14 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		}
 		if global != nil {
 			s.version++
+			if s.snap != nil {
+				// Write-ahead of the broadcast, mirroring the async commit:
+				// the cut is durable before any client learns the version.
+				// The broadcast global may alias aggregator scratch, so the
+				// snapshot keeps its own copy.
+				sc.global = append(sc.global[:0], global...)
+				s.snapshot(res, taskIdx, false)
+			}
 			gm := &GlobalModel{Params: global, Version: s.version}
 			for _, m := range s.metas {
 				if err := s.links[m.clientID].Send(gm); err != nil {
@@ -207,6 +227,14 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		}
 	}
 	return nil
+}
+
+// fillSnapshot contributes the lockstep policy's state to a durable cut:
+// the last committed global. Lockstep rounds have no mid-task resume point,
+// so upload counts and commit ordinals stay zero.
+func (sc *SyncScheduler) fillSnapshot(snap *checkpoint.ServerSnapshot, _ bool) {
+	snap.Global = sc.global
+	snap.ParamLen = len(sc.global)
 }
 
 // dropOrFail is the lockstep answer to a transport failure: abort the run

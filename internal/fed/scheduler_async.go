@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/device"
 )
 
@@ -101,6 +102,17 @@ type AsyncScheduler struct {
 	windowDown   int64
 
 	updatesSeen []int // per-client uploads received this task
+
+	staleTotal int // cumulative staleness rejections over the run
+
+	// Restart recovery (restoreSnapshot). expect[i] marks a seat that was
+	// alive at the snapshot cut and has not rejoined yet: the restored task
+	// does not close — and an empty cohort is not "all clients lost" —
+	// while any seat is still expected, because its client is out there
+	// redialing with training state the books already count. resumed makes
+	// the first RunTask keep the restored counters instead of zeroing them.
+	expect  []bool
+	resumed bool
 }
 
 // newAsyncScheduler resolves the async knobs' defaults against the cohort
@@ -148,6 +160,11 @@ func (a *AsyncScheduler) start(s *Server) {
 	a.commClocks = make([]float64, len(s.links))
 	a.updatesSeen = make([]int, len(s.links))
 	for i, t := range s.links {
+		if !s.alive[i] {
+			// A restored seat has no live link yet (deadLink placeholder);
+			// its reader starts when the client rejoins.
+			continue
+		}
 		a.startReader(i, t)
 	}
 }
@@ -201,13 +218,20 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	if !a.started {
 		a.start(s)
 	}
-	for i := range a.updatesSeen {
-		a.updatesSeen[i] = 0
+	if a.resumed {
+		// Resuming this task from a snapshot cut: updatesSeen and commitIdx
+		// were restored to the cut's values and must survive into the
+		// collect phase — clients owe only the uploads the cut had not seen.
+		a.resumed = false
+	} else {
+		for i := range a.updatesSeen {
+			a.updatesSeen[i] = 0
+		}
+		a.commitIdx = 0
 	}
 	for i := range s.rows {
 		s.rows[i] = nil
 	}
-	a.commitIdx = 0
 	a.resetWindow()
 	s.stream.BeginRound()
 
@@ -221,12 +245,14 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			a.evict(s, res, taskIdx, i, err)
 		}
 	}
-	if s.AliveClients() == 0 {
+	if s.AliveClients() == 0 && !a.expecting() {
 		return fmt.Errorf("fed: async: all clients lost at task %d", taskIdx)
 	}
 
-	// Collect phase: every alive client owes Rounds uploads.
-	for !a.allUploaded(s) {
+	// Collect phase: every alive client owes Rounds uploads — and a restored
+	// task additionally holds the door open for every seat the snapshot cut
+	// recorded as alive, until each has rejoined (or the context gives up).
+	for !a.allUploaded(s) || a.expecting() {
 		ev, rq, err := a.nextEvent(ctx)
 		if err != nil {
 			return err
@@ -240,7 +266,7 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		}
 		if ev.err != nil {
 			a.evict(s, res, taskIdx, ev.id, ev.err)
-			if s.AliveClients() == 0 {
+			if s.AliveClients() == 0 && !a.expecting() {
 				return fmt.Errorf("fed: async: all clients lost at task %d", taskIdx)
 			}
 			continue
@@ -249,7 +275,7 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		if !ok {
 			return fmt.Errorf("fed: async: client %d sent %T, want *Update", ev.id, ev.msg)
 		}
-		if err := a.handleUpdate(s, taskIdx, ev.id, u); err != nil {
+		if err := a.handleUpdate(s, res, taskIdx, ev.id, u); err != nil {
 			return err
 		}
 		ev.ack <- struct{}{}
@@ -261,7 +287,7 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	// nothing). Then close the task with the final broadcast every
 	// surviving client blocks on.
 	if a.buffered > 0 || a.staleCount > 0 {
-		a.commit(s, taskIdx)
+		a.commit(s, res, taskIdx)
 	}
 	final := &GlobalModel{Params: a.global, Version: s.version, TaskFinal: true}
 	for i, t := range s.links {
@@ -406,15 +432,29 @@ func (a *AsyncScheduler) readmit(s *Server, res *Result, taskIdx int, rq *Rejoin
 	if reported != nil && !reported[id] {
 		*pending++
 	}
+	if a.expect != nil {
+		a.expect[id] = false
+	}
 	a.startReader(id, rq.Link)
 	s.logf("fed: async: client %d rejoined at task %d (catch-up v%d, %d/%d uploads in)",
 		id, taskIdx, s.version, a.updatesSeen[id], s.cfg.Rounds)
 }
 
+// expecting reports whether any snapshot-restored seat is still awaited:
+// its client was alive at the cut and has not re-admitted itself yet.
+func (a *AsyncScheduler) expecting() bool {
+	for _, e := range a.expect {
+		if e {
+			return true
+		}
+	}
+	return false
+}
+
 // handleUpdate accounts, staleness-checks and folds one upload. The update
 // may alias the link's decode buffers: everything the scheduler keeps is
 // copied out (or folded into aggregator scratch) before returning.
-func (a *AsyncScheduler) handleUpdate(s *Server, taskIdx, id int, u *Update) error {
+func (a *AsyncScheduler) handleUpdate(s *Server, res *Result, taskIdx, id int, u *Update) error {
 	if u.ClientID != id {
 		return fmt.Errorf("fed: link %d sent update claiming client %d", id, u.ClientID)
 	}
@@ -450,6 +490,7 @@ func (a *AsyncScheduler) handleUpdate(s *Server, taskIdx, id int, u *Update) err
 	staleness := int(s.version - u.BaseVersion)
 	if a.maxStale > 0 && staleness > a.maxStale {
 		a.staleCount++
+		a.staleTotal++
 		return nil
 	}
 	w := u.Weight
@@ -463,23 +504,31 @@ func (a *AsyncScheduler) handleUpdate(s *Server, taskIdx, id int, u *Update) err
 	s.stream.Accumulate(u)
 	a.buffered++
 	if a.buffered >= a.commitK {
-		a.commit(s, taskIdx)
+		a.commit(s, res, taskIdx)
 	}
 	return nil
 }
 
 // commit closes the current window: finish the streaming reduction, bump
 // the global version, copy the result into a fresh versioned buffer,
-// broadcast it to every alive client, and report the commit to the
-// observer. A window holding only staleness rejections (the task-closing
-// flush) commits nothing — no version bump, no broadcast — but still
-// reports a RoundStats with Participants 0 so Stale counts are never
-// dropped.
-func (a *AsyncScheduler) commit(s *Server, taskIdx int) {
+// durably snapshot the cut, broadcast it to every alive client, and report
+// the commit to the observer. The snapshot is write-ahead of the broadcast
+// — the cut is on disk before any client can learn the new version — which
+// is what makes a crash at any instant recoverable: no client ever holds a
+// global version the latest snapshot does not, so a restored server is
+// never behind its own cohort (an update based on a version newer than the
+// server's is a protocol abort). A window holding only staleness rejections
+// (the task-closing flush) commits nothing — no version bump, no snapshot,
+// no broadcast — but still reports a RoundStats with Participants 0 so
+// Stale counts are never dropped.
+func (a *AsyncScheduler) commit(s *Server, res *Result, taskIdx int) {
+	round := a.commitIdx
+	a.commitIdx++
 	global := s.stream.FinishRound()
 	if global != nil {
 		s.version++
 		a.global = append([]float32(nil), global...)
+		s.snapshot(res, taskIdx, false)
 		gm := &GlobalModel{Params: a.global, Version: s.version}
 		for i, t := range s.links {
 			if !s.alive[i] {
@@ -494,15 +543,61 @@ func (a *AsyncScheduler) commit(s *Server, taskIdx int) {
 	}
 	if s.obs != nil {
 		s.obs.RoundDone(RoundStats{
-			TaskIdx: taskIdx, Round: a.commitIdx, Participants: a.buffered,
+			TaskIdx: taskIdx, Round: round, Participants: a.buffered,
 			Version: s.version, Stale: a.staleCount,
 			ComputeSeconds: a.worstCompute, CommSeconds: a.worstComm,
 			UpBytes: a.windowUp, DownBytes: a.windowDown,
 		})
 	}
-	a.commitIdx++
 	a.resetWindow()
 	s.stream.BeginRound()
+}
+
+// fillSnapshot contributes the asynchronous policy's state to a durable
+// cut: the committed global, the agreed parameter length, the per-seat
+// clocks, and — for a commit cut — the in-progress task's upload counts and
+// commit ordinal. A boundary cut zeroes those: snap.TaskIdx already names
+// the next task, for which nothing has been seen yet.
+func (a *AsyncScheduler) fillSnapshot(snap *checkpoint.ServerSnapshot, boundary bool) {
+	if !a.started {
+		return
+	}
+	snap.Global = a.global
+	snap.ParamLen = a.paramLen
+	snap.StaleTotal = a.staleTotal
+	for i := range snap.Seats {
+		snap.Seats[i].SimSeconds = a.clocks[i]
+		snap.Seats[i].CommSeconds = a.commClocks[i]
+		if !boundary {
+			snap.Seats[i].Seen = a.updatesSeen[i]
+		}
+	}
+	if !boundary {
+		snap.CommitIdx = a.commitIdx
+	}
+}
+
+// restoreSnapshot reconstructs the policy's state at a snapshot cut: seat
+// clocks and upload counts, the committed global and its parameter length,
+// the commit ordinal, and the expectation that every seat alive at the cut
+// will re-admit itself through the rejoin path before the restored task
+// closes. Called once from Server.Run, before the first RunTask.
+func (a *AsyncScheduler) restoreSnapshot(s *Server, snap *checkpoint.ServerSnapshot) {
+	a.start(s)
+	a.expect = make([]bool, len(s.links))
+	for i, seat := range snap.Seats {
+		a.clocks[i] = seat.SimSeconds
+		a.commClocks[i] = seat.CommSeconds
+		a.updatesSeen[i] = seat.Seen
+		a.expect[i] = seat.Alive
+	}
+	a.paramLen = snap.ParamLen
+	if len(snap.Global) > 0 {
+		a.global = append([]float32(nil), snap.Global...)
+	}
+	a.commitIdx = snap.CommitIdx
+	a.staleTotal = snap.StaleTotal
+	a.resumed = true
 }
 
 // resetWindow clears the per-commit accounting.

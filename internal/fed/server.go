@@ -6,6 +6,7 @@ import (
 	"log"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
@@ -134,6 +135,13 @@ type Server struct {
 	obs     RoundObserver
 	rejoins <-chan RejoinRequest
 
+	// snap, when set, receives a durable state cut at run start, write-ahead
+	// of every commit broadcast, and at every task boundary (SetSnapshots).
+	// resume, when set, is the cut this server was rebuilt from
+	// (NewServerFromSnapshot) and positions Run's task loop.
+	snap   SnapshotSink
+	resume *checkpoint.ServerSnapshot
+
 	// retiredSent/retiredRecv accumulate the measured traffic of wire links
 	// replaced by a rejoin, so WireTraffic never loses the bytes a dropped
 	// connection already carried. trafficMu guards them and the links-slice
@@ -246,7 +254,23 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		Matrix:    metrics.NewMatrix(s.cfg.NumTasks),
 		DeadAfter: map[int]int{},
 	}
-	for taskIdx := 0; taskIdx < s.cfg.NumTasks; taskIdx++ {
+	start := 0
+	if s.resume != nil {
+		start = s.resume.TaskIdx
+		if err := restoreResult(res, s.resume); err != nil {
+			return res, err
+		}
+		if r, ok := s.sched.(snapshotRestorer); ok {
+			r.restoreSnapshot(s, s.resume)
+		}
+	} else {
+		// Genesis cut: version 0, empty books. It is what lets a server that
+		// crashes before its first commit still restart into the rejoin path
+		// instead of stranding a cohort of rejoin hellos against a fresh
+		// handshake that expects fresh ones.
+		s.snapshot(res, 0, true)
+	}
+	for taskIdx := start; taskIdx < s.cfg.NumTasks; taskIdx++ {
 		if err := s.sched.RunTask(ctx, s, taskIdx, res); err != nil {
 			return res, err
 		}
@@ -263,6 +287,9 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		if s.obs != nil {
 			s.obs.TaskDone(tp)
 		}
+		// Boundary cut: the completed task's row and summary are in res, and
+		// the next task's counters start from zero.
+		s.snapshot(res, taskIdx+1, true)
 	}
 	return res, nil
 }

@@ -1,0 +1,188 @@
+package fed
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+)
+
+// SnapshotSink receives the server's durable state cuts — the crash-only
+// seam between internal/fed and internal/checkpoint. Save is called on the
+// scheduler goroutine at run start (the genesis cut), write-ahead of every
+// commit's broadcast (so no client can ever hold a global version newer
+// than the latest snapshot), and at every task boundary. The snapshot's
+// slices alias live server state and are only valid for the duration of
+// the call: serialise or copy before returning. checkpoint.Store
+// implements this interface.
+type SnapshotSink interface {
+	// Save durably persists one snapshot.
+	Save(*checkpoint.ServerSnapshot) error
+}
+
+// SetSnapshots installs the durable snapshot sink; call before Run. A
+// mid-run Save failure is logged loudly and the run continues — losing
+// future restartability is better than aborting live training — so probe
+// the sink's health at startup (checkpoint.OpenStore does).
+func (s *Server) SetSnapshots(sink SnapshotSink) { s.snap = sink }
+
+// snapshotFiller is implemented by schedulers that contribute their
+// policy-owned state (clocks, upload counts, the committed global) to a
+// snapshot. boundary marks a task-boundary cut: the in-progress task's
+// counters (Seen, CommitIdx) are zeroed because snap.TaskIdx already names
+// the next task.
+type snapshotFiller interface {
+	fillSnapshot(snap *checkpoint.ServerSnapshot, boundary bool)
+}
+
+// snapshotRestorer is implemented by schedulers that can reconstruct their
+// state from a snapshot cut; only the asynchronous scheduler does (lockstep
+// has no rejoin splice point, so a restarted sync server has no way to
+// re-admit its cohort).
+type snapshotRestorer interface {
+	restoreSnapshot(s *Server, snap *checkpoint.ServerSnapshot)
+}
+
+// snapshot builds and persists one durable cut. resumeTask is the task a
+// restarted server should resume at: the in-progress task for a commit cut,
+// the next task for a boundary cut.
+func (s *Server) snapshot(res *Result, resumeTask int, boundary bool) {
+	if s.snap == nil {
+		return
+	}
+	wireSent, wireRecv := s.WireTraffic()
+	snap := &checkpoint.ServerSnapshot{
+		Version:     s.version,
+		TaskIdx:     resumeTask,
+		SimSeconds:  s.simSeconds,
+		CommSeconds: s.commSeconds,
+		UpBytes:     s.upBytes,
+		DownBytes:   s.downBytes,
+		WireSent:    wireSent,
+		WireRecv:    wireRecv,
+		Seats:       make([]checkpoint.SeatRecord, len(s.links)),
+	}
+	for i := range snap.Seats {
+		rec := &snap.Seats[i]
+		rec.Alive = s.alive[i]
+		if at, dead := res.DeadAfter[i]; dead {
+			rec.Dead = true
+			rec.DeadAtTask = at
+		}
+	}
+	for _, tp := range res.PerTask {
+		snap.Tasks = append(snap.Tasks, checkpoint.TaskRecord{
+			TaskIdx:        tp.TaskIdx,
+			AvgAccuracy:    tp.AvgAccuracy,
+			ForgettingRate: tp.ForgettingRate,
+			SimHours:       tp.SimHours,
+			CommHours:      tp.CommHours,
+			UpBytes:        tp.UpBytes,
+			DownBytes:      tp.DownBytes,
+		})
+	}
+	for i := 0; i < len(res.PerTask) && i < len(res.Matrix.Acc); i++ {
+		snap.Matrix = append(snap.Matrix, res.Matrix.Acc[i])
+	}
+	if f, ok := s.sched.(snapshotFiller); ok {
+		f.fillSnapshot(snap, boundary)
+	}
+	if err := s.snap.Save(snap); err != nil {
+		s.logf("fed: SNAPSHOT SAVE FAILED at task %d version %d — a crash from here loses progress back to the previous snapshot: %v",
+			resumeTask, s.version, err)
+	}
+}
+
+// deadLink is the placeholder transport of a seat restored from a snapshot:
+// the client is expected to redial through the rejoin path, so until it
+// does the seat has no connection. Send and Recv fail like a closed pipe;
+// Close is a no-op, keeping the server's unconditional teardown paths safe.
+type deadLink struct{}
+
+// Send fails: a restored seat has no connection until its client rejoins.
+func (deadLink) Send(Msg) error { return io.ErrClosedPipe }
+
+// Recv fails: a restored seat has no connection until its client rejoins.
+func (deadLink) Recv() (Msg, error) { return nil, io.ErrClosedPipe }
+
+// Close is a no-op.
+func (deadLink) Close() error { return nil }
+
+// NewServerFromSnapshot rebuilds a server from a durable snapshot cut — the
+// restart half of the crash-only design. Every seat starts evicted behind a
+// dead placeholder link; the restored scheduler waits for each seat that
+// was alive at the cut to re-admit itself through the rejoin path
+// (Server.SetRejoins, normally fed to AcceptRejoins' channel), replaying a
+// phase-aware Catchup built from the snapshot's authoritative Seen counts.
+// Requires the asynchronous scheduler: lockstep has no rejoin splice point,
+// so restoring a sync run is refused with an error rather than silently
+// hanging. The caller re-installs sinks and observers (SetSnapshots,
+// SetObserver) before Run.
+func NewServerFromSnapshot(cfg ServerConfig, agg Aggregator, snap *checkpoint.ServerSnapshot) (*Server, error) {
+	if cfg.Scheduler != SchedulerAsync {
+		return nil, fmt.Errorf("fed: restart recovery requires the async scheduler (lockstep has no rejoin splice point to re-admit the cohort through)")
+	}
+	if cfg.NumClients == 0 {
+		cfg.NumClients = len(snap.Seats)
+	}
+	if cfg.NumClients != len(snap.Seats) {
+		return nil, fmt.Errorf("fed: snapshot holds %d seats, config says %d clients", len(snap.Seats), cfg.NumClients)
+	}
+	if snap.TaskIdx > cfg.NumTasks {
+		return nil, fmt.Errorf("fed: snapshot resumes at task %d of a %d-task run", snap.TaskIdx, cfg.NumTasks)
+	}
+	if snap.Version > 0 && len(snap.Global) == 0 {
+		return nil, fmt.Errorf("fed: snapshot at version %d carries no global model", snap.Version)
+	}
+	if len(snap.Tasks) != snap.TaskIdx && len(snap.Tasks) != snap.TaskIdx+1 {
+		// A commit cut mid-task T has T completed tasks; resuming at T. A
+		// boundary cut after task T has T+1 completed tasks; resuming at T+1.
+		return nil, fmt.Errorf("fed: snapshot resumes at task %d but records %d completed tasks", snap.TaskIdx, len(snap.Tasks))
+	}
+	links := make([]Transport, cfg.NumClients)
+	for i := range links {
+		links[i] = deadLink{}
+	}
+	s := NewServer(cfg, agg, links)
+	for i := range s.alive {
+		s.alive[i] = false
+	}
+	s.version = snap.Version
+	s.simSeconds = snap.SimSeconds
+	s.commSeconds = snap.CommSeconds
+	s.upBytes = snap.UpBytes
+	s.downBytes = snap.DownBytes
+	s.retiredSent = snap.WireSent
+	s.retiredRecv = snap.WireRecv
+	s.resume = snap
+	return s, nil
+}
+
+// restoreResult pre-populates a fresh Result with the snapshot's completed
+// tasks: the per-task summary points, the completed accuracy-matrix rows,
+// and the recorded deaths.
+func restoreResult(res *Result, snap *checkpoint.ServerSnapshot) error {
+	for _, t := range snap.Tasks {
+		res.PerTask = append(res.PerTask, TaskPoint{
+			TaskIdx:        t.TaskIdx,
+			AvgAccuracy:    t.AvgAccuracy,
+			ForgettingRate: t.ForgettingRate,
+			SimHours:       t.SimHours,
+			CommHours:      t.CommHours,
+			UpBytes:        t.UpBytes,
+			DownBytes:      t.DownBytes,
+		})
+	}
+	for i, row := range snap.Matrix {
+		if i >= len(res.Matrix.Acc) || len(row) != i+1 {
+			return fmt.Errorf("fed: snapshot matrix row %d has %d entries, want %d", i, len(row), i+1)
+		}
+		copy(res.Matrix.Acc[i], row)
+	}
+	for id, seat := range snap.Seats {
+		if seat.Dead {
+			res.DeadAfter[id] = seat.DeadAtTask
+		}
+	}
+	return nil
+}

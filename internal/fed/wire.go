@@ -301,6 +301,16 @@ func ServeRejoinWith(ln net.Listener, numClients int, fingerprint uint64, opts W
 	if err != nil {
 		return nil, nil, err
 	}
+	return links, AcceptRejoins(ln, numClients, fingerprint, opts), nil
+}
+
+// AcceptRejoins starts a rejoin acceptor on ln without first serving a
+// fresh cohort — the restart path: a server restored from a snapshot
+// (NewServerFromSnapshot) has no fresh cohort to accept, because every
+// client already holds local training state and re-admits itself with a
+// rejoin hello. The acceptor owns ln from here on; pair its Rejoins channel
+// with Server.SetRejoins and call Close after the run.
+func AcceptRejoins(ln net.Listener, numClients int, fingerprint uint64, opts WireOptions) *RejoinAcceptor {
 	g := &RejoinAcceptor{
 		ln: ln, numClients: numClients, fingerprint: fingerprint, opts: opts,
 		ch:      make(chan RejoinRequest, numClients),
@@ -308,7 +318,7 @@ func ServeRejoinWith(ln net.Listener, numClients int, fingerprint uint64, opts W
 		stop:    make(chan struct{}), loopDone: make(chan struct{}),
 	}
 	go g.loop()
-	return links, g, nil
+	return g
 }
 
 // Rejoins is the stream of validated rejoin handshakes; pass it to
