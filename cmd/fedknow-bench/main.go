@@ -51,6 +51,7 @@ func main() {
 	maxStaleness := flag.Int("max-staleness", 0, "async scheduler: reject updates staler than this many global versions (0 = unbounded)")
 	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
 	syncEvict := flag.Bool("sync-evict", false, "sync scheduler: evict a dropped client and keep the cohort going instead of aborting (relaxes lockstep reproducibility)")
+	shards := flag.Int("shards", 0, "partition each engine's server-side aggregation fold across this many concurrent per-shard reducers (bitwise-identical results for every value; 0 or 1 = single-loop default)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 	if *scheduler != fed.SchedulerSync && *scheduler != fed.SchedulerAsync {
@@ -94,7 +95,8 @@ func main() {
 	opt := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout,
 		Parallelism: *parallel, KernelThreads: *kernelThreads,
 		Scheduler: *scheduler, SyncEvict: *syncEvict, AsyncCommitK: *asyncCommitK,
-		MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha}
+		MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha,
+		Shards: *shards}
 	if *progress {
 		opt.Observer = fed.ObserverFuncs{Task: func(tp fed.TaskPoint) {
 			fmt.Fprintf(os.Stderr, "  · task %d done: avg-acc %.4f, sim-hours %.4f\n",

@@ -108,6 +108,7 @@ func main() {
 	asyncCommitK := flag.Int("async-commit-k", 0, "async scheduler: commit the global model every K accepted updates (0 = half the cohort)")
 	maxStaleness := flag.Int("max-staleness", 0, "async scheduler: reject updates staler than this many global versions (0 = unbounded)")
 	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
+	shards := flag.Int("shards", 0, "partition the server's aggregation fold across this many concurrent per-shard reducers (bitwise-identical results for every value; buys server ingest throughput on multi-core hosts; 0 or 1 = single-loop default)")
 	reconnect := flag.Int("reconnect", 0, "client role: rejoin a dropped connection with a catch-up handshake, retrying up to N consecutive times under capped exponential backoff (requires -scheduler async; 0 disables)")
 	syncEvict := flag.Bool("sync-evict", false, "sync scheduler: evict a client whose connection drops and keep the cohort going instead of aborting the run (relaxes lockstep reproducibility; every process of one run must agree)")
 	snapshotDir := flag.String("snapshot-dir", "", "server role: durably snapshot the versioned global and the full seat book to this directory at every commit and task boundary; a restarted server finding a snapshot here resumes the run, re-admitting -reconnect clients through the rejoin path (requires -listen; restart recovery requires -scheduler async)")
@@ -191,6 +192,7 @@ func main() {
 			Scheduler: *scheduler, SyncEvict: *syncEvict,
 			Async: fed.AsyncConfig{CommitEvery: *asyncCommitK,
 				MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha},
+			Shards: *shards,
 		},
 		wire: fed.WireOptions{
 			Compression: fed.Compression{Quant: quant},

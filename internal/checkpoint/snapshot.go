@@ -21,8 +21,13 @@ import (
 // mid-flush — detectable, so Store.Load can fall back to the previous
 // snapshot instead of restoring garbage.
 const (
-	magicSnapshot   = uint32(0xFEDC0003)
-	snapshotVersion = uint32(1)
+	magicSnapshot = uint32(0xFEDC0003)
+	// snapshotVersion is the written format. v2 appended the open commit
+	// window (the async scheduler's partial aggregation between commits) so
+	// a restart resumes mid-window instead of discarding up to K−1 folded
+	// uploads; v1 files still load, with an empty window.
+	snapshotVersion   = uint32(2)
+	snapshotVersionV1 = uint32(1)
 	// snapshotHeaderLen is magic (4) + format version (4) + payload length (8).
 	snapshotHeaderLen = 16
 	// DefaultMaxSnapshotBytes caps the payload length ReadSnapshot accepts
@@ -113,6 +118,26 @@ type ServerSnapshot struct {
 	WireRecv int64
 	// Global is the latest committed global model; nil before any commit.
 	Global []float32
+	// The open commit window: the asynchronous scheduler's state between
+	// commits, cut after every accepted (or staleness-rejected) upload so a
+	// restart resumes the window mid-fill instead of asking clients to
+	// retrain up to CommitEvery−1 uploads. WindowCount is the number of
+	// updates folded into the window (0 = empty window, the v1 semantics);
+	// WindowStale, WindowTotal, WindowWorstCompute/WindowWorstComm and
+	// WindowUp/WindowDown mirror the scheduler's per-window accounting.
+	// The partial accumulation itself is WindowVals — the raw unscaled sums
+	// over the whole vector when WindowDense, or over the ascending
+	// coordinates WindowIdx otherwise.
+	WindowCount        int
+	WindowStale        int
+	WindowTotal        float64
+	WindowWorstCompute float64
+	WindowWorstComm    float64
+	WindowUp           int64
+	WindowDown         int64
+	WindowDense        bool
+	WindowIdx          []int32
+	WindowVals         []float32
 	// Seats is the per-client seat book, indexed by client ID.
 	Seats []SeatRecord
 	// Tasks are the completed tasks' summary rows, in task order.
@@ -175,6 +200,23 @@ func WriteSnapshot(w io.Writer, snap *ServerSnapshot) error {
 			pw.f64(v)
 		}
 	}
+	// v2: the open commit window.
+	var wflags byte
+	if snap.WindowDense {
+		wflags |= 1
+	}
+	pw.u8(wflags)
+	pw.u64(uint64(snap.WindowCount))
+	pw.u64(uint64(snap.WindowStale))
+	pw.f64(snap.WindowTotal)
+	pw.f64(snap.WindowWorstCompute)
+	pw.f64(snap.WindowWorstComm)
+	pw.i64(snap.WindowUp)
+	pw.i64(snap.WindowDown)
+	pw.u64(uint64(len(snap.WindowIdx)))
+	pw.i32s(snap.WindowIdx)
+	pw.u64(uint64(len(snap.WindowVals)))
+	pw.f32s(snap.WindowVals)
 	if pw.err != nil {
 		return pw.err
 	}
@@ -204,8 +246,9 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (*ServerSnapshot, error) {
 	if m := binary.LittleEndian.Uint32(hdr); m != magicSnapshot {
 		return nil, fmt.Errorf("checkpoint: bad snapshot magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != snapshotVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported snapshot format version %d", v)
+	ver := binary.LittleEndian.Uint32(hdr[4:])
+	if ver != snapshotVersion && ver != snapshotVersionV1 {
+		return nil, fmt.Errorf("checkpoint: unsupported snapshot format version %d", ver)
 	}
 	n := binary.LittleEndian.Uint64(hdr[8:])
 	if n > uint64(maxBytes) {
@@ -279,6 +322,19 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (*ServerSnapshot, error) {
 			}
 			snap.Matrix[i] = row
 		}
+	}
+	if ver >= 2 {
+		wflags := pr.u8()
+		snap.WindowDense = wflags&1 != 0
+		snap.WindowCount = pr.intField("window count")
+		snap.WindowStale = pr.intField("window stale count")
+		snap.WindowTotal = pr.f64()
+		snap.WindowWorstCompute = pr.f64()
+		snap.WindowWorstComm = pr.f64()
+		snap.WindowUp = pr.i64()
+		snap.WindowDown = pr.i64()
+		snap.WindowIdx = pr.i32s(pr.count("window indices", 4))
+		snap.WindowVals = pr.f32s(pr.count("window values", 4))
 	}
 	if pr.err != nil {
 		return nil, pr.err
@@ -530,6 +586,24 @@ func (lw *leWriter) f32s(vals []float32) {
 	}
 }
 
+func (lw *leWriter) i32s(vals []int32) {
+	if lw.err != nil {
+		return
+	}
+	buf := make([]byte, 4*min(len(vals), readChunk))
+	for len(vals) > 0 {
+		c := min(len(vals), readChunk)
+		for i := 0; i < c; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(vals[i]))
+		}
+		lw.write(buf[:4*c])
+		vals = vals[c:]
+		if lw.err != nil {
+			return
+		}
+	}
+}
+
 // leReader parses little-endian fields from an in-memory payload, latching
 // the first error; every element count is validated against the bytes that
 // remain before anything is allocated.
@@ -609,6 +683,21 @@ func (p *leReader) f32s(n int) []float32 {
 	out := make([]float32, n)
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (p *leReader) i32s(n int) []int32 {
+	if p.err != nil || n == 0 {
+		return nil
+	}
+	b := p.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
 	}
 	return out
 }

@@ -46,7 +46,16 @@ func sampleSnapshot(seed uint64) *ServerSnapshot {
 			{TaskIdx: 0, AvgAccuracy: 0.5, ForgettingRate: 0, SimHours: 0.1, CommHours: 0.01, UpBytes: 100, DownBytes: 200},
 			{TaskIdx: 1, AvgAccuracy: 0.4, ForgettingRate: 0.2, SimHours: 0.2, CommHours: 0.02, UpBytes: 300, DownBytes: 400},
 		},
-		Matrix: [][]float64{{0.5}, {0.3, 0.5}},
+		Matrix:             [][]float64{{0.5}, {0.3, 0.5}},
+		WindowCount:        2,
+		WindowStale:        1,
+		WindowTotal:        1.75,
+		WindowWorstCompute: 3.5,
+		WindowWorstComm:    0.25,
+		WindowUp:           4096,
+		WindowDown:         8192,
+		WindowIdx:          []int32{3, 17, 200},
+		WindowVals:         []float32{0.5, float32(math.NaN()), -2},
 	}
 }
 
@@ -99,6 +108,61 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	if len(got.Matrix) != 2 || got.Matrix[1][0] != 0.3 || got.Matrix[1][1] != 0.5 {
 		t.Fatalf("matrix corrupted: %v", got.Matrix)
+	}
+	if got.WindowCount != snap.WindowCount || got.WindowStale != snap.WindowStale ||
+		got.WindowTotal != snap.WindowTotal ||
+		got.WindowWorstCompute != snap.WindowWorstCompute ||
+		got.WindowWorstComm != snap.WindowWorstComm ||
+		got.WindowUp != snap.WindowUp || got.WindowDown != snap.WindowDown ||
+		got.WindowDense != snap.WindowDense {
+		t.Fatalf("window scalars corrupted: %+v", got)
+	}
+	if len(got.WindowIdx) != len(snap.WindowIdx) {
+		t.Fatalf("%d window indices", len(got.WindowIdx))
+	}
+	for i, j := range snap.WindowIdx {
+		if got.WindowIdx[i] != j {
+			t.Fatalf("window index %d: %d want %d", i, got.WindowIdx[i], j)
+		}
+	}
+	if !f32Equal(got.WindowVals, snap.WindowVals) {
+		t.Fatal("window values not bit-identical")
+	}
+}
+
+// TestSnapshotReadsV1 pins backward compatibility: a version-1 file (no open
+// commit window section) still loads, with an empty window. The v1 bytes are
+// derived from a windowless v2 file by stripping the fixed-size empty window
+// section and patching the header version, payload length and CRC.
+func TestSnapshotReadsV1(t *testing.T) {
+	snap := sampleSnapshot(47)
+	snap.WindowCount, snap.WindowStale = 0, 0
+	snap.WindowTotal, snap.WindowWorstCompute, snap.WindowWorstComm = 0, 0, 0
+	snap.WindowUp, snap.WindowDown = 0, 0
+	snap.WindowDense, snap.WindowIdx, snap.WindowVals = false, nil, nil
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+	// Empty window section: flags(1) + 7 scalars(56) + two zero counts(16).
+	const windowLen = 1 + 7*8 + 2*8
+	payload := full[snapshotHeaderLen : len(full)-4-windowLen]
+	v1 := make([]byte, 0, snapshotHeaderLen+len(payload)+4)
+	v1 = append(v1, full[:snapshotHeaderLen]...)
+	binary.LittleEndian.PutUint32(v1[4:], snapshotVersionV1)
+	binary.LittleEndian.PutUint64(v1[8:], uint64(len(payload)))
+	v1 = append(v1, payload...)
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(payload))
+	got, err := ReadSnapshot(bytes.NewReader(v1), int64(len(v1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != snap.Version || !f32Equal(got.Global, snap.Global) {
+		t.Fatal("v1 payload corrupted")
+	}
+	if got.WindowCount != 0 || got.WindowIdx != nil || got.WindowVals != nil || got.WindowDense {
+		t.Fatalf("v1 file must load with an empty window, got %+v", got)
 	}
 }
 

@@ -115,6 +115,10 @@ type Options struct {
 	AsyncCommitK   int
 	MaxStaleness   int
 	StalenessAlpha float64
+	// Shards partitions the server's aggregation fold across concurrent
+	// per-shard reducers; results are bitwise identical for every value —
+	// see fed.Config.Shards. 0 or 1 keeps the single-loop default.
+	Shards int
 }
 
 // applyScheduler copies the scheduling-policy knobs into an engine config.
@@ -126,6 +130,7 @@ func (o Options) applyScheduler(cfg *fed.Config) {
 		MaxStaleness:   o.MaxStaleness,
 		StalenessAlpha: o.StalenessAlpha,
 	}
+	cfg.Shards = o.Shards
 }
 
 // tune applies the optional runtime adjustment.

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunLoadBench drives a miniature scripted cohort end to end — real TCP
+// wire peers, both aggregator modes — and checks the report's books: every
+// upload folded, the expected commit count, positive rates, and a JSON
+// round trip.
+func TestRunLoadBench(t *testing.T) {
+	opt := LoadBenchOptions{Clients: 3, Rounds: 4, N: 4096, Density: 0.05,
+		CommitEvery: 3, Shards: 2, Seed: 5, Logf: t.Logf}
+	rep, err := RunLoadBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("pin passed yet report says non-deterministic")
+	}
+	if len(rep.Modes) != 2 || rep.Modes[0].Shards != 1 || rep.Modes[1].Shards != 2 {
+		t.Fatalf("modes = %+v, want single-loop then 2-sharded", rep.Modes)
+	}
+	for _, m := range rep.Modes {
+		if m.Updates != opt.Clients*opt.Rounds {
+			t.Fatalf("%s folded %d updates, want %d", m.Aggregator, m.Updates, opt.Clients*opt.Rounds)
+		}
+		if m.Commits != opt.Clients*opt.Rounds/opt.CommitEvery {
+			t.Fatalf("%s made %d commits, want %d", m.Aggregator, m.Commits, opt.Clients*opt.Rounds/opt.CommitEvery)
+		}
+		if m.UpdatesPerSec <= 0 || m.CommitsPerSec <= 0 || m.WallSeconds <= 0 {
+			t.Fatalf("%s has non-positive rates: %+v", m.Aggregator, m)
+		}
+		if m.FoldP99Micros < m.FoldP50Micros {
+			t.Fatalf("%s p99 %v below p50 %v", m.Aggregator, m.FoldP99Micros, m.FoldP50Micros)
+		}
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup = %v", rep.Speedup)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Speedup != rep.Speedup || len(back.Modes) != 2 || back.Modes[1].Updates != rep.Modes[1].Updates {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+
+	// The gate: a matching baseline with a reachable floor passes; an
+	// unreachable floor fails; a shape mismatch fails regardless of speed.
+	base := *back
+	base.MinSpeedup = rep.Speedup / 2
+	if err := rep.Compare(&base, 0, io.Discard); err != nil {
+		t.Fatalf("reachable floor must pass: %v", err)
+	}
+	base.MinSpeedup = rep.Speedup * 100
+	if err := rep.Compare(&base, 0, io.Discard); err == nil {
+		t.Fatal("unreachable floor must fail")
+	}
+	if err := rep.Compare(&base, rep.Speedup/2, io.Discard); err != nil {
+		t.Fatalf("-min-speedup override must beat the baseline floor: %v", err)
+	}
+	base.MinSpeedup = 0
+	base.Clients++
+	if err := rep.Compare(&base, 0, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "shape mismatch") {
+		t.Fatalf("shape mismatch must fail: %v", err)
+	}
+}
+
+// TestLoadDeterminismPin exercises the bitwise cross-check the harness runs
+// before publishing any number.
+func TestLoadDeterminismPin(t *testing.T) {
+	if err := LoadDeterminismPin(2048, 9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -140,8 +140,9 @@ type SparseFedAvg struct {
 	// coordinate is the identity, so both modes produce the same bits.
 	full bool
 
-	union []int32 // ascending union of this round's sparse coordinates
-	merge []int32 // union merge scratch, swapped with union
+	union   []int32   // ascending union of this round's sparse coordinates
+	merge   []int32   // union merge scratch, swapped with union
+	winVals []float32 // windowState gather scratch
 }
 
 // Name identifies the aggregation rule.
@@ -209,6 +210,44 @@ func (a *SparseFedAvg) FinishRound() []float32 {
 	b.dirty = append(b.dirty[:0], a.union...)
 	b.dirtyAll = false
 	return b.buf
+}
+
+// windowState exports the open round's raw (unscaled) partial accumulation
+// (windowedAggregator): the whole scratch vector in full mode, the
+// touched-coordinate union and its partial sums otherwise. The returns alias
+// aggregator scratch and are only valid until the next Accumulate.
+func (a *SparseFedAvg) windowState() (idx []int32, vals []float32, dense bool, total float64) {
+	b := &a.bufs[a.cur]
+	if a.full {
+		return nil, b.buf, true, a.total
+	}
+	if cap(a.winVals) < len(a.union) {
+		a.winVals = make([]float32, len(a.union))
+	}
+	a.winVals = a.winVals[:len(a.union)]
+	for i, j := range a.union {
+		a.winVals[i] = b.buf[j]
+	}
+	return a.union, a.winVals, false, a.total
+}
+
+// restoreWindow reinstates a partial accumulation captured by windowState
+// into a freshly begun round (windowedAggregator): subsequent Accumulates
+// stack on top exactly as they would have on the uninterrupted originals.
+func (a *SparseFedAvg) restoreWindow(n int, idx []int32, vals []float32, dense bool, total float64, count int) {
+	a.total, a.count = total, count
+	b := &a.bufs[a.cur]
+	b.ensure(n)
+	if dense {
+		copy(b.buf, vals)
+		a.full = true
+		return
+	}
+	for i, j := range idx {
+		b.buf[j] = vals[i]
+	}
+	a.union = append(a.union[:0], idx...)
+	a.full = len(a.union)*4 > n
 }
 
 // equalIndices reports whether two index lists are element-wise equal.

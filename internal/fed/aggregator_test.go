@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -90,6 +91,137 @@ func TestSparseFedAvgConformance(t *testing.T) {
 	testAggregatorConformance(t, func() Aggregator { return &SparseFedAvg{} })
 	if (&SparseFedAvg{}).Name() == "" {
 		t.Fatal("aggregator must be identifiable")
+	}
+}
+
+func TestShardedFedAvgConformance(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", p), func(t *testing.T) {
+			testAggregatorConformance(t, func() Aggregator { return NewShardedFedAvg(p) })
+		})
+	}
+	if NewShardedFedAvg(4).Name() == "" {
+		t.Fatal("aggregator must be identifiable")
+	}
+}
+
+// shardedTestUpdates builds a mixed dense/sparse update set large enough to
+// cross the sharded fold stage's parallel-dispatch threshold.
+func shardedTestUpdates(seed uint64, n, clients int) []*Update {
+	rng := tensor.NewRNG(seed)
+	var ups []*Update
+	for c := 0; c < clients; c++ {
+		params := make([]float32, n)
+		for i := range params {
+			if rng.Float64() < 0.15 {
+				params[i] = float32(rng.Norm())
+			}
+		}
+		u := &Update{ClientID: c, Participating: true, Weight: float64(7 + 3*c), Params: params}
+		if c%2 == 1 {
+			u = sparsify(u)
+		}
+		ups = append(ups, u)
+	}
+	return ups
+}
+
+// TestShardedFedAvgMatchesSparseBitwise is the ISSUE's determinism pin: for
+// shard counts {1, 2, 8} and kernel-thread budgets {1, 4, 16}, multi-round
+// streaming aggregation through ShardedFedAvg must equal SparseFedAvg bit
+// for bit — sparse, dense and mixed rounds, including the union-overflow
+// full mode — and the dense-only path must equal WeightedFedAvg exactly.
+func TestShardedFedAvgMatchesSparseBitwise(t *testing.T) {
+	const n, clients, rounds = 50_000, 6, 3
+	ref := &SparseFedAvg{}
+	var wants [][]float32
+	for r := 0; r < rounds; r++ {
+		wants = append(wants, append([]float32(nil), ref.Aggregate(shardedTestUpdates(uint64(100+r), n, clients))...))
+	}
+	oldThreads := tensor.KernelThreads()
+	defer tensor.SetKernelThreads(oldThreads)
+	for _, p := range []int{1, 2, 8} {
+		for _, threads := range []int{1, 4, 16} {
+			tensor.SetKernelThreads(threads)
+			agg := NewShardedFedAvg(p)
+			for r := 0; r < rounds; r++ {
+				got := agg.Aggregate(shardedTestUpdates(uint64(100+r), n, clients))
+				for i := range wants[r] {
+					if got[i] != wants[r][i] {
+						t.Fatalf("shards=%d threads=%d round %d coordinate %d: %v, want %v",
+							p, threads, r, i, got[i], wants[r][i])
+					}
+				}
+			}
+		}
+	}
+
+	// Dense path: every update dense must reproduce WeightedFedAvg's bits.
+	var dense []*Update
+	rng := tensor.NewRNG(41)
+	for c := 0; c < 4; c++ {
+		params := make([]float32, 8192)
+		for i := range params {
+			params[i] = float32(rng.Norm())
+		}
+		dense = append(dense, &Update{ClientID: c, Participating: true, Weight: float64(1 + c), Params: params})
+	}
+	want := (&WeightedFedAvg{}).Aggregate(dense)
+	for _, p := range []int{1, 2, 8} {
+		got := NewShardedFedAvg(p).Aggregate(dense)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d dense path diverges from WeightedFedAvg at %d: %v vs %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedFedAvgBroadcastSurvivesNextRound pins the double-buffer
+// contract the async commit path relies on, same as SparseFedAvg's.
+func TestShardedFedAvgBroadcastSurvivesNextRound(t *testing.T) {
+	agg := NewShardedFedAvg(3)
+	first := agg.Aggregate([]*Update{{Participating: true, Weight: 1, Params: []float32{5, 6, 7}}})
+	agg.BeginRound()
+	agg.Accumulate(&Update{Participating: true, Weight: 1, Params: []float32{1, 2, 3}})
+	if first[0] != 5 || first[1] != 6 || first[2] != 7 {
+		t.Fatalf("round-r broadcast rewritten during round r+1 accumulation: %v", first)
+	}
+	second := agg.FinishRound()
+	if second[0] != 1 || second[1] != 2 || second[2] != 3 {
+		t.Fatalf("second round wrong: %v", second)
+	}
+}
+
+// TestShardedFedAvgZeroAllocSteadyState: after warmup, sharded rounds must
+// not allocate either — the fold stage reuses per-shard scratch.
+func TestShardedFedAvgZeroAllocSteadyState(t *testing.T) {
+	rng := tensor.NewRNG(33)
+	n := 8192
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = rng.Float64() < 0.1
+	}
+	w := make([]float32, n)
+	for i := range w {
+		w[i] = float32(rng.Norm())
+	}
+	ups := []*Update{
+		{Participating: true, Weight: 3, Sparse: tensor.GatherMask(nil, w, mask)},
+		{Participating: true, Weight: 2, Sparse: tensor.GatherMask(nil, w, mask)},
+	}
+	agg := NewShardedFedAvg(4)
+	agg.Aggregate(ups) // warm both merge buffers
+	agg.Aggregate(ups)
+	allocs := testing.AllocsPerRun(50, func() {
+		agg.BeginRound()
+		for _, u := range ups {
+			agg.Accumulate(u)
+		}
+		agg.FinishRound()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sharded aggregation allocates %v per round", allocs)
 	}
 }
 

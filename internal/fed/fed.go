@@ -144,6 +144,14 @@ type Config struct {
 	// Async configures the asynchronous scheduler; ignored when Scheduler is
 	// sync. See AsyncConfig for the defaults applied to zero fields.
 	Async AsyncConfig
+	// Shards (-shards) partitions the server's aggregation fold across this
+	// many per-shard reducers folded concurrently on the kernel worker pool
+	// (ShardedFedAvg). Results are bitwise identical for every shard count —
+	// the knob buys server ingest throughput, never different bits — but it
+	// is still part of the job fingerprint so every process of one run agrees
+	// on the server layout it is load-testing against. 0 or 1 keeps the
+	// single-loop SparseFedAvg default.
+	Shards int
 }
 
 // Scheduler policy names accepted by Config.Scheduler and
@@ -179,6 +187,17 @@ type AsyncConfig struct {
 	// deweighting; fresh updates (staleness 0) are never deweighted at any
 	// α.
 	StalenessAlpha float64
+	// LoopbackCap overrides the per-link loopback queue capacity of an
+	// asynchronous in-process engine. 0 picks the default, Rounds+4 capped
+	// at 256 — bounded regardless of cohort size, because delivery never
+	// needs a task's worst case in flight: every async client drains its
+	// inbox continuously through a pump goroutine (runAsync), so a commit
+	// broadcast waits at most one pump iteration, never for training, and
+	// the server's reader/ack loop consumes uploads continuously in the
+	// other direction. Like Parallelism it never changes results and is
+	// excluded from the job fingerprint; it exists so memory-constrained
+	// hosts (or stress tests) can shrink the queues further.
+	LoopbackCap int
 }
 
 // Fingerprint digests every result-affecting knob of the configuration (and
@@ -186,8 +205,11 @@ type AsyncConfig struct {
 // if every process derives the same job from the same knobs, so the wire
 // handshake carries this digest and the server rejects clients that disagree
 // — a seed or hyperparameter mismatch fails loudly instead of silently
-// producing non-reproducible results. Parallelism is excluded: it never
-// changes results.
+// producing non-reproducible results. Parallelism and Async.LoopbackCap are
+// excluded: they never change results. Shards is included even though it is
+// bitwise-neutral too — it selects the server's aggregation layout, and every
+// process of one run declaring the layout it runs against is worth more than
+// letting a load test accidentally mix them.
 //
 // Config cannot see job-level knobs that also shape the run — dataset,
 // architecture, client count, model width, scale. Callers that know them
@@ -237,6 +259,7 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 	mix(uint64(cfg.Async.CommitEvery))
 	mix(uint64(cfg.Async.MaxStaleness))
 	mix(math.Float64bits(cfg.Async.StalenessAlpha))
+	mix(uint64(cfg.Shards))
 	for _, s := range extra {
 		mixStr(s)
 	}
@@ -259,6 +282,7 @@ func (cfg Config) ServerConfigFor(numClients, numTasks int) ServerConfig {
 		Scheduler:   cfg.Scheduler,
 		SyncEvict:   cfg.SyncEvict,
 		Async:       cfg.Async,
+		Shards:      cfg.Shards,
 	}
 }
 
@@ -312,14 +336,24 @@ func NewEngine(cfg Config, cluster *device.Cluster, seqs [][]data.ClientTask,
 	}
 	serverLinks := make([]Transport, len(seqs))
 	// The lockstep protocol never has more than two messages in flight per
-	// link, but the asynchronous scheduler sends without waiting (every
-	// commit broadcast can queue behind a training client, and a client
-	// uploads its whole task without pausing), so its loopback links get
-	// capacity for a task's worst case — Rounds uploads per client and one
-	// commit per update — to keep both endpoints non-blocking.
+	// link, but the asynchronous scheduler sends without waiting, so its
+	// loopback links get deeper queues. Bounded ones: the async client's
+	// inbox pump drains server→client traffic continuously into an
+	// unbounded in-process queue, so a commit-loop Send can only ever wait
+	// one pump iteration, and client→server uploads are consumed by the
+	// scheduler's reader/ack loop — neither direction needs a task's worst
+	// case (Rounds×clients) in flight, which at load-test cohort sizes
+	// would allocate thousands of slots per link. Rounds+4 keeps a client's
+	// own task fully bufferable; the 256 cap bounds memory for huge runs.
 	bufCap := loopbackCap
 	if cfg.Scheduler == SchedulerAsync {
-		bufCap = cfg.Rounds*len(seqs) + 4
+		bufCap = cfg.Async.LoopbackCap
+		if bufCap <= 0 {
+			bufCap = cfg.Rounds + 4
+			if bufCap > 256 {
+				bufCap = 256
+			}
+		}
 	}
 	for i, seq := range seqs {
 		rng := root.Fork(uint64(i) + 1)

@@ -29,10 +29,33 @@ func (m *memSink) Save(s *checkpoint.ServerSnapshot) error {
 	for _, row := range s.Matrix {
 		cp.Matrix = append(cp.Matrix, append([]float64(nil), row...))
 	}
+	cp.WindowIdx = append([]int32(nil), s.WindowIdx...)
+	cp.WindowVals = append([]float32(nil), s.WindowVals...)
 	m.mu.Lock()
 	m.snaps = append(m.snaps, cp)
 	m.mu.Unlock()
 	return nil
+}
+
+// waitFor polls the sink until a saved snapshot satisfies the predicate.
+func (m *memSink) waitFor(t *testing.T, what string, pred func(*checkpoint.ServerSnapshot) bool) checkpoint.ServerSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m.mu.Lock()
+		for i := len(m.snaps) - 1; i >= 0; i-- {
+			if pred(&m.snaps[i]) {
+				cp := m.snaps[i]
+				m.mu.Unlock()
+				return cp
+			}
+		}
+		m.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("no snapshot cut satisfying %q", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // hasVersion reports whether a cut at global version v has been saved.
@@ -219,6 +242,133 @@ func TestServerSnapshotRestoreResumesMidTask(t *testing.T) {
 	}
 	if got := res.Matrix.Acc[0][0]; got != 0.7 {
 		t.Fatalf("task-0 accuracy %v, want the rejoined cohort's mean 0.7", got)
+	}
+}
+
+// TestServerSnapshotRestoresMidWindow pins the open-window half of the
+// crash-only contract, for both the single-loop and the sharded aggregator:
+// a server killed after folding 2 of the 3 updates of a CommitEvery=3 window
+// leaves a mid-window cut behind (the partial sums, not just the last
+// commit); the restored server's Catchup says Seen=2 — the client retrains
+// nothing — and the commit closed by the one remaining upload is bitwise the
+// commit the uninterrupted run would have made.
+func TestServerSnapshotRestoresMidWindow(t *testing.T) {
+	// n is large enough that the three updates' union stays under the
+	// aggregators' sparse→full switchover, so the sparse capture regime is
+	// what round-trips through the cut.
+	const n = 40
+	mkUpdate := func(i int, base uint64) *Update {
+		sp := []*tensor.SparseVec{
+			{N: n, Indices: []int32{0, 2}, Values: []float32{1.5, -2}},
+			{N: n, Indices: []int32{2, 39}, Values: []float32{0.25, 3}},
+			{N: n, Indices: []int32{1, 2}, Values: []float32{-0.5, 1.25}},
+		}[i]
+		return &Update{ClientID: 0, Participating: true, Weight: 1, BaseVersion: base, Sparse: sp}
+	}
+	// The uninterrupted reference: all three updates through one window.
+	ref := &SparseFedAvg{}
+	want := append([]float32(nil), ref.Aggregate([]*Update{mkUpdate(0, 0), mkUpdate(1, 0), mkUpdate(2, 0)})...)
+
+	for _, shards := range []int{0, 4} {
+		logf, _ := watchLogs()
+		cfg := ServerConfig{
+			Method: "test", NumTasks: 1, Rounds: 3, Scheduler: SchedulerAsync,
+			Async:  AsyncConfig{CommitEvery: 3},
+			Shards: shards,
+			Logf:   logf,
+		}
+		sink := &memSink{}
+		s0, c0 := LoopbackCap(64)
+		srv := NewServer(cfg, nil, []Transport{s0})
+		srv.SetSnapshots(sink)
+		ctx, crash := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := srv.Run(ctx)
+			done <- err
+		}()
+
+		recvRoundStart(t, c0)
+		if err := c0.Send(mkUpdate(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c0.Send(mkUpdate(1, 0)); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for the second mid-window cut to be durable, then crash: two
+		// folds live only in aggregator scratch and the cut.
+		snap := sink.waitFor(t, "open window holding 2 updates", func(s *checkpoint.ServerSnapshot) bool {
+			return s.WindowCount == 2
+		})
+		crash()
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: crashed run returned %v", shards, err)
+		}
+		c0.Close()
+
+		if snap.Version != 0 || snap.Seats[0].Seen != 2 || snap.WindowDense || snap.WindowTotal != 2 {
+			t.Fatalf("shards=%d: mid-window cut %+v, want v0, Seen 2, sparse window of total weight 2", shards, &snap)
+		}
+		if len(snap.WindowIdx) != len(snap.WindowVals) || len(snap.WindowIdx) == 0 {
+			t.Fatalf("shards=%d: window carries %d indices, %d values", shards, len(snap.WindowIdx), len(snap.WindowVals))
+		}
+
+		srv2, err := NewServerFromSnapshot(cfg, nil, &snap)
+		if err != nil {
+			t.Fatalf("shards=%d: restore: %v", shards, err)
+		}
+		rejoins := make(chan RejoinRequest, 1)
+		srv2.SetRejoins(rejoins)
+		sink2 := &memSink{}
+		srv2.SetSnapshots(sink2)
+		done2 := make(chan *Result, 1)
+		go func() {
+			res, err := srv2.Run(context.Background())
+			if err != nil {
+				t.Errorf("shards=%d: restored run: %v", shards, err)
+			}
+			done2 <- res
+		}()
+
+		sR, cR := LoopbackCap(64)
+		rejoins <- RejoinRequest{ClientID: 0, LastVersion: 0, Link: sR}
+		cu := recvCatchup(t, cR)
+		if cu.Seen != 2 || cu.TaskIdx != 0 {
+			t.Fatalf("shards=%d: catch-up %+v, want task 0 with 2 uploads already in — nothing retrained", shards, cu)
+		}
+		if err := cR.Send(mkUpdate(2, 0)); err != nil {
+			t.Fatal(err)
+		}
+		gm := recvGlobal(t, cR)
+		if gm.Version != 1 {
+			t.Fatalf("shards=%d: post-restore commit at v%d, want v1", shards, gm.Version)
+		}
+		if len(gm.Params) != n {
+			t.Fatalf("shards=%d: commit carries %d params, want %d", shards, len(gm.Params), n)
+		}
+		for i := range want {
+			if gm.Params[i] != want[i] {
+				t.Fatalf("shards=%d: restored commit[%d] = %v, uninterrupted %v — the mid-window fold must resume bitwise",
+					shards, i, gm.Params[i], want[i])
+			}
+		}
+		// The write-ahead cut of that commit must record an emptied window:
+		// restoring it resumes after the commit, not inside it.
+		commitCut := sink2.waitFor(t, "commit cut at v1", func(s *checkpoint.ServerSnapshot) bool {
+			return s.Version == 1
+		})
+		if commitCut.WindowCount != 0 || len(commitCut.WindowVals) != 0 {
+			t.Fatalf("shards=%d: commit cut still holds a %d-update window", shards, commitCut.WindowCount)
+		}
+		final := recvGlobal(t, cR)
+		if !final.TaskFinal {
+			t.Fatalf("shards=%d: expected the task-final broadcast", shards)
+		}
+		cR.Send(&RoundEnd{ClientID: 0, EvalAccs: []float64{0.5}})
+		res := <-done2
+		if len(res.PerTask) != 1 || res.DeadAfter[0] != 0 && len(res.DeadAfter) != 0 {
+			t.Fatalf("shards=%d: restored run books %+v", shards, res)
+		}
 	}
 }
 

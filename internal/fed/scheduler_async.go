@@ -113,6 +113,14 @@ type AsyncScheduler struct {
 	// the first RunTask keep the restored counters instead of zeroing them.
 	expect  []bool
 	resumed bool
+
+	// stream is the server's streaming aggregator (captured in start):
+	// fillSnapshot exports its open commit window through windowedAggregator
+	// so a cut after every accepted upload carries the partial fold, not
+	// just the last commit. pendWindow is the restored cut whose window the
+	// first resumed RunTask reinstates before collecting uploads.
+	stream     StreamAggregator
+	pendWindow *checkpoint.ServerSnapshot
 }
 
 // newAsyncScheduler resolves the async knobs' defaults against the cohort
@@ -153,6 +161,7 @@ func (a *AsyncScheduler) Close() {
 // rejoin source.
 func (a *AsyncScheduler) start(s *Server) {
 	a.started = true
+	a.stream = s.stream
 	a.events = make(chan schedEvent, 2*len(s.links)+4)
 	a.gens = make([]int, len(s.links))
 	a.rejoins = s.rejoins
@@ -234,6 +243,28 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	}
 	a.resetWindow()
 	s.stream.BeginRound()
+	if snap := a.pendWindow; snap != nil {
+		// Reinstate the open commit window recorded at the restored cut: the
+		// per-window accounting, and — when any update was folded — the
+		// aggregator's partial accumulation, so the window completes from
+		// where the crash interrupted it. The snapshot's Seen counts already
+		// include these folded uploads, so rejoining clients resume after
+		// them; the commit that closes the window is bitwise the commit the
+		// uninterrupted run would have made.
+		a.pendWindow = nil
+		a.buffered = snap.WindowCount
+		a.staleCount = snap.WindowStale
+		a.worstCompute = snap.WindowWorstCompute
+		a.worstComm = snap.WindowWorstComm
+		a.windowUp = snap.WindowUp
+		a.windowDown = snap.WindowDown
+		if snap.WindowCount > 0 {
+			if wa, ok := s.stream.(windowedAggregator); ok {
+				wa.restoreWindow(snap.ParamLen, snap.WindowIdx, snap.WindowVals,
+					snap.WindowDense, snap.WindowTotal, snap.WindowCount)
+			}
+		}
+	}
 
 	// One RoundStart per task: the client paces its own Rounds uploads.
 	rs := &RoundStart{TaskIdx: taskIdx, Round: 0, Participate: true, TaskDone: true}
@@ -491,6 +522,10 @@ func (a *AsyncScheduler) handleUpdate(s *Server, res *Result, taskIdx, id int, u
 	if a.maxStale > 0 && staleness > a.maxStale {
 		a.staleCount++
 		a.staleTotal++
+		// The rejection still advanced the books (Seen, clocks, traffic):
+		// cut a snapshot so a crash does not ask the client to retrain an
+		// upload the server already accounted.
+		s.snapshot(res, taskIdx, false)
 		return nil
 	}
 	w := u.Weight
@@ -505,7 +540,12 @@ func (a *AsyncScheduler) handleUpdate(s *Server, res *Result, taskIdx, id int, u
 	a.buffered++
 	if a.buffered >= a.commitK {
 		a.commit(s, res, taskIdx)
+		return nil
 	}
+	// Mid-window cut: the fold is in aggregator scratch only, so persist the
+	// open window (partial sums, counters, Seen) — a restart resumes the
+	// window mid-fill instead of discarding up to K−1 folded uploads.
+	s.snapshot(res, taskIdx, false)
 	return nil
 }
 
@@ -525,9 +565,24 @@ func (a *AsyncScheduler) commit(s *Server, res *Result, taskIdx int) {
 	round := a.commitIdx
 	a.commitIdx++
 	global := s.stream.FinishRound()
+	stats := RoundStats{
+		TaskIdx: taskIdx, Round: round, Participants: a.buffered,
+		Stale:          a.staleCount,
+		ComputeSeconds: a.worstCompute, CommSeconds: a.worstComm,
+		UpBytes: a.windowUp, DownBytes: a.windowDown,
+	}
 	if global != nil {
 		s.version++
 		a.global = append([]float32(nil), global...)
+	}
+	// The window's folds are now in a.global (or, for a stale-only flush,
+	// there were none): clear the window and open the aggregator's next
+	// round before the write-ahead cut, so the snapshot records the commit
+	// with an empty open window — restoring it resumes after this commit,
+	// not inside it.
+	a.resetWindow()
+	s.stream.BeginRound()
+	if global != nil {
 		s.snapshot(res, taskIdx, false)
 		gm := &GlobalModel{Params: a.global, Version: s.version}
 		for i, t := range s.links {
@@ -541,23 +596,21 @@ func (a *AsyncScheduler) commit(s *Server, res *Result, taskIdx int) {
 			}
 		}
 	}
+	stats.Version = s.version
 	if s.obs != nil {
-		s.obs.RoundDone(RoundStats{
-			TaskIdx: taskIdx, Round: round, Participants: a.buffered,
-			Version: s.version, Stale: a.staleCount,
-			ComputeSeconds: a.worstCompute, CommSeconds: a.worstComm,
-			UpBytes: a.windowUp, DownBytes: a.windowDown,
-		})
+		s.obs.RoundDone(stats)
 	}
-	a.resetWindow()
-	s.stream.BeginRound()
 }
 
 // fillSnapshot contributes the asynchronous policy's state to a durable
 // cut: the committed global, the agreed parameter length, the per-seat
-// clocks, and — for a commit cut — the in-progress task's upload counts and
-// commit ordinal. A boundary cut zeroes those: snap.TaskIdx already names
-// the next task, for which nothing has been seen yet.
+// clocks, and — for a commit cut — the in-progress task's upload counts,
+// commit ordinal, and the open commit window (its accounting plus the
+// aggregator's raw partial accumulation, exported through
+// windowedAggregator). A boundary cut zeroes those: snap.TaskIdx already
+// names the next task, for which nothing has been seen yet. The window
+// slices alias aggregator scratch — the SnapshotSink contract requires the
+// sink to serialise before returning.
 func (a *AsyncScheduler) fillSnapshot(snap *checkpoint.ServerSnapshot, boundary bool) {
 	if !a.started {
 		return
@@ -574,6 +627,19 @@ func (a *AsyncScheduler) fillSnapshot(snap *checkpoint.ServerSnapshot, boundary 
 	}
 	if !boundary {
 		snap.CommitIdx = a.commitIdx
+		snap.WindowCount = a.buffered
+		snap.WindowStale = a.staleCount
+		snap.WindowWorstCompute = a.worstCompute
+		snap.WindowWorstComm = a.worstComm
+		snap.WindowUp = a.windowUp
+		snap.WindowDown = a.windowDown
+		if a.buffered > 0 {
+			if wa, ok := a.stream.(windowedAggregator); ok {
+				var total float64
+				snap.WindowIdx, snap.WindowVals, snap.WindowDense, total = wa.windowState()
+				snap.WindowTotal = total
+			}
+		}
 	}
 }
 
@@ -597,6 +663,7 @@ func (a *AsyncScheduler) restoreSnapshot(s *Server, snap *checkpoint.ServerSnaps
 	}
 	a.commitIdx = snap.CommitIdx
 	a.staleTotal = snap.StaleTotal
+	a.pendWindow = snap
 	a.resumed = true
 }
 

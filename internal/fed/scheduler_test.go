@@ -417,3 +417,60 @@ func TestAsyncWireEviction(t *testing.T) {
 		t.Fatalf("%d alive clients, want 1 survivor", srv.AliveClients())
 	}
 }
+
+// TestAsyncLoopbackCapBounded pins the satellite contract on
+// Async.LoopbackCap: a deliberately tiny per-link buffer must not deadlock
+// the engine — the client inbox pump keeps draining commits into its
+// unbounded queue, so a blocking commit broadcast resolves within one pump
+// iteration no matter how small the channel is. CommitEvery=1 maximises
+// commit broadcasts per upload, the worst case for a small buffer. The
+// commit COUNT and total participation are policy-determined (every upload
+// folds and commits; no staleness bound means no rejections), so those
+// books must match a default-cap run exactly even though upload arrival
+// ORDER — and therefore the folded weights — varies with goroutine
+// scheduling in the loopback engine.
+func TestAsyncLoopbackCapBounded(t *testing.T) {
+	run := func(cap int) (*Result, []RoundStats) {
+		cfg, cluster, seqs, build := tinySetup(47)
+		cfg.Scheduler = SchedulerAsync
+		cfg.Async = AsyncConfig{CommitEvery: 1, LoopbackCap: cap}
+		e := NewEngine(cfg, cluster, seqs, build, func(ctx *ClientCtx) Strategy {
+			return &passthrough{ctx: ctx}
+		})
+		var rounds []RoundStats
+		e.SetObserver(ObserverFuncs{Round: func(s RoundStats) { rounds = append(rounds, s) }})
+		done := make(chan *Result, 1)
+		go func() { done <- e.Run() }()
+		select {
+		case res := <-done:
+			return res, rounds
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("engine with LoopbackCap=%d did not finish: a bounded buffer must not deadlock delivery", cap)
+			return nil, nil
+		}
+	}
+	capped, cappedRounds := run(2) // far smaller than one task's commit count
+	dflt, dfltRounds := run(0)
+	if len(cappedRounds) != len(dfltRounds) {
+		t.Fatalf("capped run made %d commits, default made %d", len(cappedRounds), len(dfltRounds))
+	}
+	for i, c := range cappedRounds {
+		if c.Participants != 1 || c.Stale != 0 {
+			t.Fatalf("commit %d folded %d updates with %d rejections, want 1 and 0 at K=1 with no staleness bound",
+				i, c.Participants, c.Stale)
+		}
+	}
+	if len(capped.PerTask) != len(dflt.PerTask) {
+		t.Fatalf("capped run finished %d tasks, default %d", len(capped.PerTask), len(dflt.PerTask))
+	}
+	for i := range dflt.PerTask {
+		c, d := capped.PerTask[i], dflt.PerTask[i]
+		if c.UpBytes != d.UpBytes || c.DownBytes != d.DownBytes {
+			t.Fatalf("task %d traffic: capped %d/%d, default %d/%d — the cap must not change what is delivered",
+				i, c.UpBytes, c.DownBytes, d.UpBytes, d.DownBytes)
+		}
+	}
+	if capped.PerTask[0].AvgAccuracy <= 0.2 {
+		t.Fatalf("capped run learned nothing: %v", capped.PerTask[0].AvgAccuracy)
+	}
+}

@@ -103,6 +103,11 @@ type ServerConfig struct {
 	// Async configures the asynchronous scheduler; ignored when Scheduler
 	// is sync.
 	Async AsyncConfig
+	// Shards selects the default aggregator's fold layout when no explicit
+	// Aggregator is passed to NewServer: > 1 builds ShardedFedAvg with that
+	// many per-shard reducers, otherwise the single-loop SparseFedAvg.
+	// Bitwise-identical results either way — see Config.Shards.
+	Shards int
 	// Logf, when set, receives operational log lines (client evictions);
 	// nil uses the standard library logger. It never receives results.
 	Logf func(format string, args ...any)
@@ -169,7 +174,8 @@ type Server struct {
 // NewServer builds a server over one transport per client. The aggregator
 // defaults to SparseFedAvg when nil — the streaming reducer that handles
 // dense updates with WeightedFedAvg's exact arithmetic and sparse updates in
-// O(active knowledge). A StreamAggregator is fed each update as it is
+// O(active knowledge) — or to ShardedFedAvg, its bitwise-identical
+// concurrent-fold layout, when cfg.Shards > 1. A StreamAggregator is fed each update as it is
 // decoded; any other Aggregator sees the buffered round. The scheduling
 // policy comes from cfg.Scheduler; NewServer panics on an unknown policy, on
 // SchedulerAsync with a non-streaming aggregator (the asynchronous policy
@@ -184,7 +190,11 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 		panic(fmt.Sprintf("fed: %d transports for %d clients", len(links), cfg.NumClients))
 	}
 	if agg == nil {
-		agg = &SparseFedAvg{}
+		if cfg.Shards > 1 {
+			agg = NewShardedFedAvg(cfg.Shards)
+		} else {
+			agg = &SparseFedAvg{}
+		}
 	}
 	s := &Server{
 		cfg:     cfg,

@@ -1,0 +1,99 @@
+package fed
+
+import (
+	"fmt"
+
+	"repro/internal/shard"
+)
+
+// ShardedFedAvg is SparseFedAvg's exact arithmetic behind a concurrent
+// sharded fold stage (internal/shard): each accepted update is
+// index-partitioned across P per-shard reducers that fold their contiguous
+// coordinate ranges on the tensor.Parallel worker pool, and FinishRound
+// merges the normalised per-shard partials in ascending shard/index order.
+// Because the shards are disjoint and every kernel is per-coordinate
+// independent, the result is bitwise identical to SparseFedAvg for every
+// shard count and thread count — the -shards knob buys ingest throughput
+// (the per-link decode→fold→ack path stops being serialised on one core's
+// fold loop), never different bits.
+//
+// The weight arithmetic lives here, exactly as in SparseFedAvg: a zero
+// weight counts as one, the total accumulates in float64 arrival order, and
+// the merge scales by float32(1/total) once.
+type ShardedFedAvg struct {
+	r     *shard.Reducer
+	total float64
+	count int
+}
+
+// NewShardedFedAvg builds the sharded streaming aggregator with the given
+// shard count (minimum 1; 1 is the single-loop layout behind the same
+// interface).
+func NewShardedFedAvg(shards int) *ShardedFedAvg {
+	return &ShardedFedAvg{r: shard.NewReducer(shards)}
+}
+
+// Name identifies the aggregation rule and its shard count.
+func (a *ShardedFedAvg) Name() string {
+	return fmt.Sprintf("ShardedFedAvg(%d)", a.r.Shards())
+}
+
+// Shards reports the configured shard count.
+func (a *ShardedFedAvg) Shards() int { return a.r.Shards() }
+
+// BeginRound opens a fresh round on every shard and resets the weight
+// bookkeeping.
+func (a *ShardedFedAvg) BeginRound() {
+	a.r.BeginRound()
+	a.total, a.count = 0, 0
+}
+
+// Accumulate folds one participating update across the shards.
+func (a *ShardedFedAvg) Accumulate(u *Update) {
+	w := u.Weight
+	if w == 0 {
+		w = 1
+	}
+	a.total += w
+	a.count++
+	if u.Sparse != nil {
+		a.r.FoldSparse(float32(w), u.Sparse)
+		return
+	}
+	a.r.FoldDense(float32(w), u.Params)
+}
+
+// FinishRound merges the per-shard partials into the double-buffered global,
+// normalised by the accumulated weight; nil when no update was accumulated.
+// The result stays intact through the whole next round (double buffering),
+// matching SparseFedAvg's broadcast-aliasing contract.
+func (a *ShardedFedAvg) FinishRound() []float32 {
+	if a.count == 0 {
+		return nil
+	}
+	return a.r.Merge(float32(1 / a.total))
+}
+
+// Aggregate implements the buffered Aggregator interface in terms of the
+// streaming one.
+func (a *ShardedFedAvg) Aggregate(updates []*Update) []float32 {
+	a.BeginRound()
+	for _, u := range updates {
+		a.Accumulate(u)
+	}
+	return a.FinishRound()
+}
+
+// windowState exports the open commit window's raw partial accumulation
+// (windowedAggregator).
+func (a *ShardedFedAvg) windowState() (idx []int32, vals []float32, dense bool, total float64) {
+	idx, vals, dense = a.r.Window()
+	return idx, vals, dense, a.total
+}
+
+// restoreWindow reinstates a captured open window after BeginRound
+// (windowedAggregator).
+func (a *ShardedFedAvg) restoreWindow(n int, idx []int32, vals []float32, dense bool, total float64, count int) {
+	a.r.RestoreWindow(n, idx, vals, dense)
+	a.total, a.count = total, count
+}

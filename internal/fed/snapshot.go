@@ -43,6 +43,25 @@ type snapshotRestorer interface {
 	restoreSnapshot(s *Server, snap *checkpoint.ServerSnapshot)
 }
 
+// windowedAggregator is implemented by streaming aggregators whose open
+// round can be captured into a snapshot and reinstated after a restart —
+// what lets the asynchronous scheduler cut a snapshot after every accepted
+// upload and resume the commit window mid-fill instead of discarding up to
+// CommitEvery−1 folded updates. SparseFedAvg and ShardedFedAvg implement it.
+type windowedAggregator interface {
+	// windowState exports the open round's raw (unscaled) partial
+	// accumulation: the whole scratch vector (idx nil, dense true) or the
+	// ascending touched-coordinate union and its partial sums. The returned
+	// slices alias aggregator scratch and are only valid until the next
+	// Accumulate — snapshot serialisation copies them before returning.
+	windowState() (idx []int32, vals []float32, dense bool, total float64)
+	// restoreWindow reinstates a captured partial accumulation into a
+	// freshly begun round of an n-parameter model, so subsequent
+	// Accumulates stack on top exactly as they would have on the
+	// uninterrupted originals (bitwise).
+	restoreWindow(n int, idx []int32, vals []float32, dense bool, total float64, count int)
+}
+
 // snapshot builds and persists one durable cut. resumeTask is the task a
 // restarted server should resume at: the in-progress task for a commit cut,
 // the next task for a boundary cut.
@@ -138,6 +157,27 @@ func NewServerFromSnapshot(cfg ServerConfig, agg Aggregator, snap *checkpoint.Se
 		// A commit cut mid-task T has T completed tasks; resuming at T. A
 		// boundary cut after task T has T+1 completed tasks; resuming at T+1.
 		return nil, fmt.Errorf("fed: snapshot resumes at task %d but records %d completed tasks", snap.TaskIdx, len(snap.Tasks))
+	}
+	if snap.WindowCount > 0 {
+		if snap.WindowDense {
+			if len(snap.WindowIdx) != 0 || len(snap.WindowVals) != snap.ParamLen {
+				return nil, fmt.Errorf("fed: snapshot's dense open window carries %d indices and %d values for %d parameters",
+					len(snap.WindowIdx), len(snap.WindowVals), snap.ParamLen)
+			}
+		} else {
+			if len(snap.WindowIdx) != len(snap.WindowVals) {
+				return nil, fmt.Errorf("fed: snapshot's open window carries %d indices but %d values",
+					len(snap.WindowIdx), len(snap.WindowVals))
+			}
+			prev := int32(-1)
+			for _, j := range snap.WindowIdx {
+				if j <= prev || int(j) >= snap.ParamLen {
+					return nil, fmt.Errorf("fed: snapshot's open-window indices are not ascending in-range coordinates (index %d after %d, %d parameters)",
+						j, prev, snap.ParamLen)
+				}
+				prev = j
+			}
+		}
 	}
 	links := make([]Transport, cfg.NumClients)
 	for i := range links {

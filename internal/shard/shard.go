@@ -1,0 +1,421 @@
+// Package shard implements hierarchical sharded aggregation: the parameter
+// vector is index-partitioned into P contiguous shards, each owned by one
+// per-shard reducer that folds its subrange of every incoming update into a
+// private accumulator, and at commit the per-shard partials are normalised
+// and merged — in ascending shard/index order — into one double-buffered
+// global vector.
+//
+// The point of the partition is throughput without changing a single bit:
+// because the shards own disjoint coordinate ranges and every kernel is
+// per-coordinate independent, folding P shards concurrently on the
+// tensor.Parallel worker pool performs exactly the arithmetic, in exactly
+// the per-coordinate order, that the single-loop streaming aggregator
+// performs — so the merged result is bitwise identical to fed.SparseFedAvg
+// for every shard count and every thread count, and the fold stage scales
+// with cores while the ingest loop stays serial only in arrival order.
+//
+// Ownership: each shard's accumulator (and its touched-coordinate union) is
+// single-buffered private scratch, lazily re-zeroed when the shard first
+// participates in a round. The merged global is double-buffered like
+// SparseFedAvg's scratch: the vector returned by Merge stays intact while
+// the next round accumulates and merges, which is what lets zero-copy
+// loopback clients still be reading a broadcast when the next commit lands.
+package shard
+
+import (
+	"repro/internal/tensor"
+)
+
+// shardParMin is the per-update work size (dense length, or stored
+// coordinates) above which a fold or merge fans out over the kernel pool;
+// below it the dispatch costs more than the arithmetic.
+const shardParMin = 1 << 11
+
+// Plan is the index partition: P contiguous shards covering [0, n), balanced
+// to within one coordinate (the first n mod P shards are one longer). A
+// contiguous partition — rather than striding — keeps every kernel a dense
+// or ascending-index loop over one cache-friendly range, and makes a sparse
+// update's per-shard subrange one binary search away.
+type Plan struct {
+	n      int
+	shards int
+}
+
+// NewPlan builds the balanced contiguous partition of [0, n) into shards
+// parts. shards < 1 is treated as 1; shards > n leaves the excess shards
+// empty.
+func NewPlan(n, shards int) Plan {
+	if shards < 1 {
+		shards = 1
+	}
+	return Plan{n: n, shards: shards}
+}
+
+// N reports the partitioned vector length.
+func (p Plan) N() int { return p.n }
+
+// Shards reports the partition's shard count.
+func (p Plan) Shards() int { return p.shards }
+
+// Bounds reports shard s's half-open coordinate range [lo, hi).
+func (p Plan) Bounds(s int) (lo, hi int) {
+	q, r := p.n/p.shards, p.n%p.shards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// shardAcc is one shard's private fold state: the accumulator over its
+// contiguous range, and the record of which coordinates the open round has
+// touched (mirroring SparseFedAvg's union/full bookkeeping per range —
+// scaling a zero coordinate is the identity, so the mode never changes
+// bits). seen lags the reducer's round counter until the shard first
+// participates, which is what makes clearing lazy and parallel: it happens
+// inside the shard's own fold call.
+type shardAcc struct {
+	lo, hi int
+	seen   uint64
+	acc    []float32 // len hi-lo, all-zero outside the open round's union
+	full   bool      // whole range participates (dense update, or union overflow)
+	union  []int32   // ascending global coords touched this round (unless full)
+	mrg    []int32   // union merge scratch, swapped with union
+}
+
+// mergeBuf is one of the two merged-global buffers, with per-shard records
+// of what its last merge dirtied (to re-zero before it is merged into
+// again, two rounds later).
+type mergeBuf struct {
+	buf      []float32
+	dirty    [][]int32
+	dirtyAll []bool
+}
+
+// Reducer is the sharded fold engine. Protocol, mirroring a streaming
+// aggregator round: BeginRound, any number of FoldDense/FoldSparse calls
+// (each the already-weighted contribution of one update), then Merge. The
+// caller owns arrival order and the weight arithmetic (including the total
+// being normalised by); the reducer owns the partition, the per-shard
+// scratch, and the parallel fan-out.
+type Reducer struct {
+	shards int
+	plan   Plan
+	accs   []shardAcc
+	bufs   [2]mergeBuf
+	cur    int
+	round  uint64
+
+	winBuf  []float32 // Window dense-export scratch
+	winIdx  []int32   // Window sparse-export scratch
+	winVals []float32
+
+	// Pending-operation operands plus persistent range closures over them:
+	// building a fresh closure per fold would allocate on every update, so
+	// the hot path stays allocation-free by parking the operands in fields
+	// for the duration of one dispatch. opX/opSp may alias transport decode
+	// scratch and are nilled as soon as the dispatch returns.
+	opW         float32
+	opScale     float32
+	opX         []float32
+	opSp        *tensor.SparseVec
+	opMb        *mergeBuf
+	denseRange  func(lo, hi int)
+	sparseRange func(lo, hi int)
+	mergeRange  func(lo, hi int)
+}
+
+// NewReducer builds a reducer with the given shard count (minimum 1). The
+// partition is sized by the first fold's vector length.
+func NewReducer(shards int) *Reducer {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Reducer{shards: shards}
+	r.denseRange = func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			r.foldDenseShard(s, r.opW, r.opX)
+		}
+	}
+	r.sparseRange = func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			r.foldSparseShard(s, r.opW, r.opSp)
+		}
+	}
+	r.mergeRange = func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			r.mergeShard(r.opMb, s, r.opScale)
+		}
+	}
+	return r
+}
+
+// Shards reports the configured shard count.
+func (r *Reducer) Shards() int { return r.shards }
+
+// BeginRound opens a new round: the merge target flips to the other buffer
+// (the previous Merge result stays intact for one more full round) and every
+// shard's scratch is invalidated, to be cleared lazily when the shard next
+// participates.
+func (r *Reducer) BeginRound() {
+	r.cur ^= 1
+	r.round++
+}
+
+// size (re)builds the partition for vector length n. Steady state — the
+// length never changes within a run — this is one comparison.
+func (r *Reducer) size(n int) {
+	if r.plan.n == n && r.accs != nil {
+		return
+	}
+	r.plan = NewPlan(n, r.shards)
+	r.accs = make([]shardAcc, r.shards)
+	for s := range r.accs {
+		lo, hi := r.plan.Bounds(s)
+		r.accs[s] = shardAcc{lo: lo, hi: hi, acc: make([]float32, hi-lo)}
+	}
+	for b := range r.bufs {
+		r.bufs[b] = mergeBuf{
+			buf:      make([]float32, n),
+			dirty:    make([][]int32, r.shards),
+			dirtyAll: make([]bool, r.shards),
+		}
+	}
+}
+
+// ensureRound restores one shard's all-zero accumulator invariant on its
+// first participation of the open round, clearing only what its previous
+// round touched.
+func (r *Reducer) ensureRound(sh *shardAcc) {
+	if sh.seen == r.round {
+		return
+	}
+	if sh.full {
+		clear(sh.acc)
+	} else {
+		for _, j := range sh.union {
+			sh.acc[int(j)-sh.lo] = 0
+		}
+	}
+	sh.union = sh.union[:0]
+	sh.full = false
+	sh.seen = r.round
+}
+
+// parallel reports whether work of the given size fans out over the kernel
+// pool; below the threshold the dispatch costs more than the arithmetic.
+// Shards own disjoint state, so either execution produces the same bits.
+func (r *Reducer) parallel(work int) bool {
+	return len(r.accs) > 1 && work >= shardParMin
+}
+
+// FoldDense folds one dense already-weighted contribution: every shard adds
+// w·x over its range — per coordinate, exactly WeightedFedAvg's Axpy.
+func (r *Reducer) FoldDense(w float32, x []float32) {
+	r.size(len(x))
+	if r.parallel(len(x)) {
+		r.opW, r.opX = w, x
+		tensor.Parallel(len(r.accs), r.denseRange)
+		r.opX = nil
+		return
+	}
+	for s := range r.accs {
+		r.foldDenseShard(s, w, x)
+	}
+}
+
+// foldDenseShard folds one shard's range of a dense contribution.
+func (r *Reducer) foldDenseShard(s int, w float32, x []float32) {
+	sh := &r.accs[s]
+	r.ensureRound(sh)
+	tensor.AxpySlice(sh.acc, w, x[sh.lo:sh.hi])
+	sh.full = true
+}
+
+// FoldSparse folds one sparse already-weighted contribution: each shard
+// locates its contiguous subrange of the ascending index list by binary
+// search and folds only that, maintaining its own touched-coordinate union
+// (with the same quarter-of-the-range overflow to full mode as the
+// single-loop aggregator). A shard with no coordinate in range does not
+// participate.
+func (r *Reducer) FoldSparse(w float32, x *tensor.SparseVec) {
+	r.size(x.N)
+	if r.parallel(len(x.Indices)) {
+		r.opW, r.opSp = w, x
+		tensor.Parallel(len(r.accs), r.sparseRange)
+		r.opSp = nil
+		return
+	}
+	for s := range r.accs {
+		r.foldSparseShard(s, w, x)
+	}
+}
+
+// foldSparseShard folds one shard's subrange of a sparse contribution.
+func (r *Reducer) foldSparseShard(s int, w float32, x *tensor.SparseVec) {
+	sh := &r.accs[s]
+	i0 := tensor.SearchInt32(x.Indices, int32(sh.lo))
+	i1 := i0 + tensor.SearchInt32(x.Indices[i0:], int32(sh.hi))
+	if i0 == i1 {
+		return
+	}
+	r.ensureRound(sh)
+	idx, val := x.Indices[i0:i1], x.Values[i0:i1]
+	tensor.AxpyOffset(sh.acc, w, idx, val, int32(sh.lo))
+	if sh.full {
+		return
+	}
+	if !equalInt32(sh.union, idx) {
+		sh.mrg = tensor.MergeIndices(sh.mrg, sh.union, idx)
+		sh.union, sh.mrg = sh.mrg, sh.union
+		if len(sh.union)*4 > sh.hi-sh.lo {
+			sh.full = true
+		}
+	}
+}
+
+// Merge closes the round: every shard re-zeroes what this buffer's previous
+// merge left in its range, then scatters scale·acc at its touched
+// coordinates (or sweeps its whole range when full). The semantic write
+// order is ascending shard then ascending index; concurrent execution is
+// indistinguishable because the ranges are disjoint. The returned vector
+// aliases the reducer's double-buffered scratch: it stays intact through the
+// whole next round and is rewritten by the merge after that.
+func (r *Reducer) Merge(scale float32) []float32 {
+	mb := &r.bufs[r.cur]
+	if r.parallel(r.plan.n) {
+		r.opMb, r.opScale = mb, scale
+		tensor.Parallel(len(r.accs), r.mergeRange)
+		r.opMb = nil
+		return mb.buf
+	}
+	for s := range r.accs {
+		r.mergeShard(mb, s, scale)
+	}
+	return mb.buf
+}
+
+// mergeShard normalises and writes one shard's partial into the merge
+// buffer, restoring the all-zero invariant for what the buffer's previous
+// merge left in the shard's range.
+func (r *Reducer) mergeShard(mb *mergeBuf, s int, scale float32) {
+	sh := &r.accs[s]
+	if mb.dirtyAll[s] {
+		clear(mb.buf[sh.lo:sh.hi])
+	} else {
+		for _, j := range mb.dirty[s] {
+			mb.buf[j] = 0
+		}
+	}
+	if sh.seen != r.round {
+		mb.dirty[s] = mb.dirty[s][:0]
+		mb.dirtyAll[s] = false
+		return
+	}
+	if sh.full {
+		tensor.ScaleInto(mb.buf[sh.lo:sh.hi], sh.acc, scale)
+		mb.dirty[s] = mb.dirty[s][:0]
+		mb.dirtyAll[s] = true
+		return
+	}
+	tensor.ScaleScatterOffset(mb.buf, scale, sh.acc, sh.union, int32(sh.lo))
+	mb.dirty[s] = append(mb.dirty[s][:0], sh.union...)
+	mb.dirtyAll[s] = false
+}
+
+// Window exports the open round's raw (unscaled) partial accumulation for a
+// durable mid-window snapshot. When any participating shard runs in full
+// mode the export is dense: idx is nil and vals is the whole partial vector.
+// Otherwise idx holds the ascending union of touched coordinates across
+// shards and vals their partial sums. Both returns alias reducer scratch
+// valid until the next fold, merge, or Window call.
+func (r *Reducer) Window() (idx []int32, vals []float32, dense bool) {
+	for s := range r.accs {
+		sh := &r.accs[s]
+		if sh.seen == r.round && sh.full {
+			dense = true
+			break
+		}
+	}
+	if dense {
+		if cap(r.winBuf) < r.plan.n {
+			r.winBuf = make([]float32, r.plan.n)
+		}
+		r.winBuf = r.winBuf[:r.plan.n]
+		clear(r.winBuf)
+		for s := range r.accs {
+			sh := &r.accs[s]
+			if sh.seen != r.round {
+				continue
+			}
+			if sh.full {
+				copy(r.winBuf[sh.lo:sh.hi], sh.acc)
+				continue
+			}
+			for _, j := range sh.union {
+				r.winBuf[j] = sh.acc[int(j)-sh.lo]
+			}
+		}
+		return nil, r.winBuf, true
+	}
+	r.winIdx = r.winIdx[:0]
+	r.winVals = r.winVals[:0]
+	for s := range r.accs {
+		sh := &r.accs[s]
+		if sh.seen != r.round {
+			continue
+		}
+		r.winIdx = append(r.winIdx, sh.union...)
+		for _, j := range sh.union {
+			r.winVals = append(r.winVals, sh.acc[int(j)-sh.lo])
+		}
+	}
+	return r.winIdx, r.winVals, false
+}
+
+// RestoreWindow reinstates a partial accumulation captured by Window into a
+// freshly begun round (call BeginRound first): subsequent folds stack on top
+// of the restored partials exactly as they would have on the uninterrupted
+// originals. A dense capture (idx nil, len(vals) == n) restores every shard
+// in full mode; a sparse capture restores each shard's union subrange.
+func (r *Reducer) RestoreWindow(n int, idx []int32, vals []float32, dense bool) {
+	r.size(n)
+	if dense {
+		for s := range r.accs {
+			sh := &r.accs[s]
+			r.ensureRound(sh)
+			copy(sh.acc, vals[sh.lo:sh.hi])
+			sh.full = true
+		}
+		return
+	}
+	for s := range r.accs {
+		sh := &r.accs[s]
+		i0 := tensor.SearchInt32(idx, int32(sh.lo))
+		i1 := i0 + tensor.SearchInt32(idx[i0:], int32(sh.hi))
+		if i0 == i1 {
+			continue
+		}
+		r.ensureRound(sh)
+		for i := i0; i < i1; i++ {
+			sh.acc[int(idx[i])-sh.lo] = vals[i]
+		}
+		sh.union = append(sh.union[:0], idx[i0:i1]...)
+		sh.full = len(sh.union)*4 > sh.hi-sh.lo
+	}
+}
+
+// equalInt32 reports whether two index lists are element-wise equal (the
+// shared-prune-mask fast path: identical lists skip the merge).
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -145,3 +145,35 @@ func TestMeanStdDev(t *testing.T) {
 		t.Fatal("empty stats must be 0")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {1, 50}, {0.5, 35},
+		{0.25, 20}, {0.75, 40},
+		{0.4, 29}, // rank 1.6 between 20 and 35: 20 + 0.6*15
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("singleton = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range fraction must panic")
+		}
+	}()
+	Percentile(xs, 1.5)
+}

@@ -1,0 +1,91 @@
+package tensor
+
+import "testing"
+
+// TestAxpyOffsetMatchesAxpySparse: folding a sparse update shard by shard
+// through AxpyOffset must produce exactly the bits of one whole-vector
+// AxpySparse — the property the sharded aggregator's bitwise contract rests
+// on (disjoint coordinates, identical per-coordinate arithmetic).
+func TestAxpyOffsetMatchesAxpySparse(t *testing.T) {
+	rng := NewRNG(7)
+	n := 1000
+	w := make([]float32, n)
+	mask := make([]bool, n)
+	for i := range w {
+		w[i] = float32(rng.Norm())
+		mask[i] = rng.Float64() < 0.3
+	}
+	x := GatherMask(nil, w, mask)
+	const a = float32(0.37)
+
+	want := make([]float32, n)
+	AxpySparse(want, a, x)
+
+	got := make([]float32, n)
+	for _, bounds := range [][2]int{{0, 250}, {250, 251}, {251, 700}, {700, 1000}} {
+		lo, hi := bounds[0], bounds[1]
+		i0 := SearchInt32(x.Indices, int32(lo))
+		i1 := SearchInt32(x.Indices, int32(hi))
+		acc := make([]float32, hi-lo)
+		AxpyOffset(acc, a, x.Indices[i0:i1], x.Values[i0:i1], int32(lo))
+		for j := lo; j < hi; j++ {
+			got[j] += acc[j-lo]
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coordinate %d: sharded %v, whole-vector %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScaleScatterOffset: normalising a shard accumulator into the merged
+// vector must write s·src at exactly the listed coordinates and touch
+// nothing else.
+func TestScaleScatterOffset(t *testing.T) {
+	src := []float32{2, 4, 6, 8} // shard range [10, 14)
+	dst := make([]float32, 20)
+	dst[9], dst[14] = 99, 99 // sentinels outside the shard
+	dst[11] = 55             // in-range but untouched coordinate
+	ScaleScatterOffset(dst, 0.5, src, []int32{10, 12, 13}, 10)
+	want := map[int]float32{9: 99, 14: 99, 10: 1, 11: 55, 12: 3, 13: 4}
+	for j, v := range want {
+		if dst[j] != v {
+			t.Fatalf("dst[%d] = %v, want %v", j, dst[j], v)
+		}
+	}
+}
+
+// TestScaleInto checks the dense merge kernel and its length panic.
+func TestScaleInto(t *testing.T) {
+	dst := make([]float32, 3)
+	ScaleInto(dst, []float32{2, -4, 8}, 0.25)
+	for i, want := range []float32{0.5, -1, 2} {
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	ScaleInto(dst, []float32{1}, 1)
+}
+
+// TestSearchInt32 pins the lower-bound semantics on boundaries.
+func TestSearchInt32(t *testing.T) {
+	a := []int32{2, 5, 9}
+	cases := []struct {
+		v    int32
+		want int
+	}{{0, 0}, {2, 0}, {3, 1}, {5, 1}, {6, 2}, {9, 2}, {10, 3}}
+	for _, c := range cases {
+		if got := SearchInt32(a, c.v); got != c.want {
+			t.Fatalf("SearchInt32(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := SearchInt32(nil, 1); got != 0 {
+		t.Fatalf("empty list: got %d, want 0", got)
+	}
+}
