@@ -7,17 +7,21 @@
 //	fedknow-bench -exp all
 //	fedknow-bench -exp sparse -bench-out BENCH_sparse.json -baseline bench/BENCH_sparse_baseline.json
 //	fedknow-bench -exp async -bench-out BENCH_async.json
+//	fedknow-bench -exp robust -bench-out BENCH_robust.json
 //
 // Experiments: fig4a–fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10,
 // hyper, all — plus "sparse", which measures the sparse update pipeline
 // (bytes/round and encode/decode/aggregate cost, dense vs sparse vs
 // quantized) and emits BENCH_sparse.json (with -baseline it also prints a
-// benchstat-style comparison and fails on byte regressions), and "async",
+// benchstat-style comparison and fails on byte regressions), "async",
 // which runs the same federation under the synchronous and asynchronous
 // schedulers with one straggler in the cohort and emits BENCH_async.json
-// (simulated time per global-model commit). Scale "ci" (default) runs the
-// laptop-sized configuration; "full" mirrors the paper's client/round
-// counts and takes hours on CPU.
+// (simulated time per global-model commit), and "robust", which measures
+// every Byzantine-robust aggregation rule (and the naive mean) against the
+// adversarial attack matrix and emits BENCH_robust.json (RMS deviation from
+// the honest cohort's mean). Scale "ci" (default) runs the laptop-sized
+// configuration; "full" mirrors the paper's client/round counts and takes
+// hours on CPU.
 //
 // The figure/table experiments also accept the scheduler knobs (-scheduler
 // async -async-commit-k 4 -max-staleness 8 -staleness-alpha 0.5) to
@@ -38,9 +42,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, sparse, async, all)")
+	exp := flag.String("exp", "all", "experiment id (fig4a..fig4h, table1, fig5, fig6, fig7, fig8, fig9, fig10, ablation, hyper, sparse, async, robust, all)")
 	scale := flag.String("scale", "ci", "ci or full")
-	benchOut := flag.String("bench-out", "", "output path for -exp sparse/async (default BENCH_sparse.json / BENCH_async.json)")
+	benchOut := flag.String("bench-out", "", "output path for -exp sparse/async/robust (default BENCH_sparse.json / BENCH_async.json / BENCH_robust.json)")
 	baseline := flag.String("baseline", "", "baseline BENCH_sparse.json to compare against (-exp sparse; exits non-zero on byte regressions)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent clients per federated engine (0 = GOMAXPROCS)")
@@ -76,6 +80,17 @@ func main() {
 			out = "BENCH_async.json"
 		}
 		if err := runAsyncBench(out, *seed, *asyncCommitK, *maxStaleness, *stalenessAlpha); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "robust" {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_robust.json"
+		}
+		if err := runRobustBench(out, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -167,6 +182,24 @@ func runSparseBench(out, baseline string, seed uint64) error {
 		}
 	}
 	fmt.Printf("### sparse done in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runRobustBench measures every robust aggregation rule (and the naive mean)
+// against the adversarial attack matrix and writes BENCH_robust.json.
+func runRobustBench(out string, seed uint64) error {
+	start := time.Now()
+	fmt.Printf("### running robust aggregation bench\n")
+	rep, err := experiments.RobustBench(experiments.RobustBenchOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rep.Print(os.Stdout)
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("### robust done in %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -109,6 +109,9 @@ func main() {
 	maxStaleness := flag.Int("max-staleness", 0, "async scheduler: reject updates staler than this many global versions (0 = unbounded)")
 	stalenessAlpha := flag.Float64("staleness-alpha", 0.5, "async scheduler: alpha in the staleness weight 1/(1+staleness)^alpha (0 disables deweighting)")
 	shards := flag.Int("shards", 0, "partition the server's aggregation fold across this many concurrent per-shard reducers (bitwise-identical results for every value; buys server ingest throughput on multi-core hosts; 0 or 1 = single-loop default)")
+	aggregator := flag.String("aggregator", "fedavg", "server aggregation rule: fedavg (weighted mean, the default), trimmed-mean[:beta], median, krum[:f], or fedopt[:momentum[:inner]] (server momentum over an inner rule); the robust rules bound what poisoned updates can do to the global; every process of one run must agree")
+	rejectNonFinite := flag.Bool("reject-nonfinite", false, "server ingest hardening: drop and count updates carrying NaN/Inf parameters or a non-finite weight instead of folding them into the global (defaults on when -aggregator selects a robust rule; every process of one run must agree)")
+	maxFrame := flag.Int("max-frame", 0, "cap the wire decoder's frame payload in bytes, bounding the allocation a malicious length prefix can force (0 = the 256 MB package default; size it to the dense model payload plus slack)")
 	reconnect := flag.Int("reconnect", 0, "client role: rejoin a dropped connection with a catch-up handshake, retrying up to N consecutive times under capped exponential backoff (requires -scheduler async; 0 disables)")
 	syncEvict := flag.Bool("sync-evict", false, "sync scheduler: evict a client whose connection drops and keep the cohort going instead of aborting the run (relaxes lockstep reproducibility; every process of one run must agree)")
 	snapshotDir := flag.String("snapshot-dir", "", "server role: durably snapshot the versioned global and the full seat book to this directory at every commit and task boundary; a restarted server finding a snapshot here resumes the run, re-admitting -reconnect clients through the rejoin path (requires -listen; restart recovery requires -scheduler async)")
@@ -144,6 +147,27 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -compress mode %q (none, fp16, int8)\n", *compress)
 		os.Exit(2)
+	}
+	if _, err := fed.ParseAggregator(*aggregator, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *maxFrame < 0 {
+		fmt.Fprintln(os.Stderr, "-max-frame must be non-negative")
+		os.Exit(2)
+	}
+	// Ingest hardening defaults on for robust rules: a robust aggregation
+	// that folds NaN is still poisoned. An explicit -reject-nonfinite=false
+	// wins over the default.
+	robustSelected := *aggregator != "" && *aggregator != "fedavg"
+	rejectSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "reject-nonfinite" {
+			rejectSet = true
+		}
+	})
+	if robustSelected && !rejectSet {
+		*rejectNonFinite = true
 	}
 
 	fam, ok := data.FamilyByName(*dataset)
@@ -193,10 +217,12 @@ func main() {
 			Async: fed.AsyncConfig{CommitEvery: *asyncCommitK,
 				MaxStaleness: *maxStaleness, StalenessAlpha: *stalenessAlpha},
 			Shards: *shards,
+			Robust: *aggregator, RejectNonFinite: *rejectNonFinite,
 		},
 		wire: fed.WireOptions{
 			Compression: fed.Compression{Quant: quant},
 			Timeout:     *wireTimeout,
+			MaxFrame:    *maxFrame,
 		},
 		reconnect: *reconnect,
 		snapDir:   *snapshotDir,

@@ -18,9 +18,16 @@
 // strategies, only typed round messages (RoundStart → Update → GlobalModel →
 // RoundEnd), so the simulator is just one binding of a real protocol.
 //
+// A final adversarial leg turns one peer hostile: scripted Byzantine attacks
+// (sign-flip and scaled poisoning, NaN/Inf garbage, stale replays, oversized
+// frames, slow-loris silence) run naive-vs-defended, asserting each attack
+// defeats the undefended server and is absorbed — and counted — by the
+// robust aggregation rules, ingest hardening, frame cap and wire timeout.
+//
 // Run with -short for a CI-sized configuration, -leg rejoin to run only the
-// kill-and-rejoin chaos leg, and -leg crash to run only the server-kill
-// crash-restart leg (CI runs both under the race detector).
+// kill-and-rejoin chaos leg, -leg crash to run only the server-kill
+// crash-restart leg, and -leg adversarial to run only the hostile-peer
+// matrix (CI runs the chaos and adversarial legs under the race detector).
 package main
 
 import (
@@ -44,10 +51,14 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "shrink the run for CI")
-	leg := flag.String("leg", "all", "all, rejoin (kill-and-rejoin only), or crash (server-kill restart only)")
+	leg := flag.String("leg", "all", "all, rejoin (kill-and-rejoin only), crash (server-kill restart only), or adversarial (hostile-peer matrix only)")
 	flag.Parse()
-	if *leg != "all" && *leg != "rejoin" && *leg != "crash" {
-		fail(fmt.Errorf("unknown -leg %q (all, rejoin, crash)", *leg))
+	if *leg != "all" && *leg != "rejoin" && *leg != "crash" && *leg != "adversarial" {
+		fail(fmt.Errorf("unknown -leg %q (all, rejoin, crash, adversarial)", *leg))
+	}
+	if *leg == "adversarial" {
+		runAdversarial()
+		return
 	}
 
 	// 1. Shared job definition. Every process of a wire run derives this
@@ -145,6 +156,10 @@ func main() {
 	// 7. Chaos, harder: kill the server itself mid-task and restart it from
 	// its newest durable snapshot.
 	runCrashRestart(cfg, numClients, numTasks, cluster, seqs, build, factory)
+
+	// 8. Hostile: the adversarial matrix — one scripted Byzantine peer per
+	// scenario against the server's robust-aggregation and ingest defences.
+	runAdversarial()
 }
 
 // runKillRejoin is the churn leg: the same job under the asynchronous

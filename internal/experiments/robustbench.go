@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/tensor"
+)
+
+// RobustBenchOptions size the Byzantine-robustness comparison. The zero
+// value runs the headline configuration: a 10-client cohort with 2 colluding
+// attackers over a 64k-parameter model.
+type RobustBenchOptions struct {
+	// Dim is the parameter-vector length (default 65536).
+	Dim int
+	// Clients is the cohort size including attackers (default 10).
+	Clients int
+	// Attackers is how many cohort members collude (default 2; must leave at
+	// least one honest client).
+	Attackers int
+	// Rounds is how many aggregation rounds each (rule, attack) cell runs —
+	// timing is averaged over them (default 5).
+	Rounds int
+	Seed   uint64
+}
+
+// RobustCell is one (aggregation rule, attack) measurement: how far the
+// attack dragged the committed global away from the honest cohort's mean,
+// and what the rule costs per round.
+type RobustCell struct {
+	Rule   string `json:"rule"`
+	Attack string `json:"attack"`
+	// RMSDeviation is the root-mean-square distance between the aggregate
+	// and the honest clients' exact mean — 0 is perfect attack suppression;
+	// the honest cohort's own noise floor is ~0.05.
+	RMSDeviation float64 `json:"rms_deviation"`
+	// WallMsPerRound is the host's real milliseconds per aggregation round —
+	// informational, it varies with hardware.
+	WallMsPerRound float64 `json:"wall_ms_per_round"`
+}
+
+// RobustReport is the BENCH_robust.json payload: every robust rule (and the
+// naive mean, as the vulnerable baseline) against every attack in the
+// matrix, over one seeded synthetic cohort.
+type RobustReport struct {
+	Dim       int          `json:"dim"`
+	Clients   int          `json:"clients"`
+	Attackers int          `json:"attackers"`
+	Rounds    int          `json:"rounds"`
+	Seed      uint64       `json:"seed"`
+	Cells     []RobustCell `json:"cells"`
+}
+
+// robustAttacks are the adversarial payload shapes: "none" is the control,
+// "sign-flip" sends −10× the ground truth, "scaled" sends 1000×. Non-finite
+// garbage is absent by design — it never reaches an aggregator, the server's
+// ingest hardening rejects it first (see TestSyncServerRejectsNonFinite).
+var robustAttacks = []struct {
+	name  string
+	mount func(truth float64) float32
+}{
+	{"none", nil},
+	{"sign-flip", func(truth float64) float32 { return float32(-10 * truth) }},
+	{"scaled", func(truth float64) float32 { return float32(1000 * truth) }},
+}
+
+// robustRules are the aggregation rules under test, by their -aggregator
+// spec. The naive mean comes first as the baseline the attacks defeat.
+var robustRules = []string{"fedavg", "trimmed-mean:0.2", "median", "krum:2", "fedopt:0.9:trimmed-mean:0.2"}
+
+// RobustBench measures each aggregation rule's deviation from the honest
+// mean under each attack, on a seeded synthetic cohort (honest updates are
+// ground truth plus small per-client noise). Every cell is deterministic for
+// a given seed: the rules run directly on the same update set, no engine or
+// scheduling in the loop.
+func RobustBench(opt RobustBenchOptions) (*RobustReport, error) {
+	if opt.Dim == 0 {
+		opt.Dim = 1 << 16
+	}
+	if opt.Clients == 0 {
+		opt.Clients = 10
+	}
+	if opt.Attackers == 0 {
+		opt.Attackers = 2
+	}
+	if opt.Rounds == 0 {
+		opt.Rounds = 5
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Attackers >= opt.Clients {
+		return nil, fmt.Errorf("experiments: %d attackers leave no honest client in a cohort of %d",
+			opt.Attackers, opt.Clients)
+	}
+	rep := &RobustReport{Dim: opt.Dim, Clients: opt.Clients, Attackers: opt.Attackers,
+		Rounds: opt.Rounds, Seed: opt.Seed}
+	honest := opt.Clients - opt.Attackers
+	for _, atk := range robustAttacks {
+		// One cohort per attack, shared by every rule so the cells compare
+		// the rules, not the noise draw.
+		rng := tensor.NewRNG(opt.Seed)
+		truth := make([]float64, opt.Dim)
+		for i := range truth {
+			truth[i] = rng.Norm()
+		}
+		ref := make([]float64, opt.Dim)
+		ups := make([]*fed.Update, 0, opt.Clients)
+		for c := 0; c < honest; c++ {
+			params := make([]float32, opt.Dim)
+			for i := range params {
+				params[i] = float32(truth[i] + 0.05*rng.Norm())
+				ref[i] += float64(params[i]) / float64(honest)
+			}
+			ups = append(ups, &fed.Update{ClientID: c, Participating: true, Weight: 1, Params: params})
+		}
+		for c := honest; c < opt.Clients; c++ {
+			params := make([]float32, opt.Dim)
+			for i := range params {
+				if atk.mount != nil {
+					params[i] = atk.mount(truth[i])
+				} else {
+					params[i] = float32(truth[i] + 0.05*rng.Norm())
+					// An idle "attacker" is one more honest client; it is
+					// deliberately left out of ref so every attack's reference
+					// is the same honest-majority mean.
+				}
+			}
+			ups = append(ups, &fed.Update{ClientID: c, Participating: true, Weight: 1, Params: params})
+		}
+		for _, spec := range robustRules {
+			agg, err := fed.ParseAggregator(spec, 1)
+			if err != nil {
+				return nil, err
+			}
+			var global []float32
+			start := time.Now()
+			for r := 0; r < opt.Rounds; r++ {
+				global = agg.Aggregate(ups)
+			}
+			wall := time.Since(start)
+			var sum float64
+			for i := range global {
+				d := float64(global[i]) - ref[i]
+				sum += d * d
+			}
+			rep.Cells = append(rep.Cells, RobustCell{
+				Rule: spec, Attack: atk.name,
+				RMSDeviation:   math.Sqrt(sum / float64(opt.Dim)),
+				WallMsPerRound: float64(wall.Microseconds()) / 1000 / float64(opt.Rounds),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (r *RobustReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Print renders the report as an aligned table, one row per (rule, attack).
+func (r *RobustReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "robust aggregation bench: %d params, %d clients (%d attackers), %d rounds/cell, seed %d\n",
+		r.Dim, r.Clients, r.Attackers, r.Rounds, r.Seed)
+	tb := &Table{Title: "RMS deviation from the honest mean (honest noise floor ~0.05)",
+		Header: []string{"rule", "attack", "rms-deviation", "wall-ms/round"}}
+	for _, c := range r.Cells {
+		tb.Rows = append(tb.Rows, []string{
+			c.Rule, c.Attack, fmt.Sprintf("%.4f", c.RMSDeviation), fmt.Sprintf("%.2f", c.WallMsPerRound),
+		})
+	}
+	tb.Print(w)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// TestRobustBenchAttacksBounded is the PR's acceptance bar in bench form:
+// every attack must defeat the naive mean (that is what makes the matrix an
+// attack) and every robust rule must hold the aggregate near the honest
+// cohort's mean. CI-sized: a small parameter vector keeps the per-coordinate
+// sorts cheap.
+func TestRobustBenchAttacksBounded(t *testing.T) {
+	rep, err := RobustBench(RobustBenchOptions{Dim: 2048, Rounds: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Print(io.Discard)
+	if want := len(robustRules) * len(robustAttacks); len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	for _, c := range rep.Cells {
+		naive := c.Rule == "fedavg"
+		switch {
+		case c.Attack == "none":
+			if c.RMSDeviation > 0.25 {
+				t.Errorf("%s with no attack deviates %.3f from the honest mean", c.Rule, c.RMSDeviation)
+			}
+		case naive:
+			if c.RMSDeviation < 1 {
+				t.Errorf("naive mean under %s deviates only %.3f — the attack is too weak", c.Attack, c.RMSDeviation)
+			}
+		default:
+			if c.RMSDeviation > 0.25 {
+				t.Errorf("%s under %s deviates %.3f, want the honest noise floor", c.Rule, c.Attack, c.RMSDeviation)
+			}
+		}
+	}
+	if _, err := RobustBench(RobustBenchOptions{Clients: 2, Attackers: 2}); err == nil {
+		t.Fatal("a cohort with no honest client must be refused")
+	}
+	// The report must round-trip to disk (the CI artifact path).
+	path := filepath.Join(t.TempDir(), "BENCH_robust.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}

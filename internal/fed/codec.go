@@ -58,7 +58,9 @@ import (
 // handshake.
 const (
 	// maxFrame bounds a frame payload (256 MB ≈ a 64M-parameter model);
-	// anything larger is a corrupt or hostile stream.
+	// anything larger is a corrupt or hostile stream. WireOptions.MaxFrame
+	// lowers the bound per link, so a deployment whose model is kilobytes
+	// need not let a hostile length prefix buffer megabytes.
 	maxFrame = 1 << 28
 	// maxParams bounds the *logical* length a params block may claim, so a
 	// tiny hostile sparse frame cannot make the receiver densify gigabytes.
@@ -121,9 +123,13 @@ func (*helloMsg) Kind() Kind { return KindHello }
 // Decode) for retained messages.
 type Codec struct {
 	comp Compression
-	enc  []byte
-	hdr  [5]byte // frame-header scratch (kept here so it never escapes per call)
-	dec  decodeScratch
+	// maxFrame, when positive, lowers the decoder's frame-payload bound below
+	// the package default — the allocation a hostile length prefix can force
+	// before validation fails. The params-length bound scales with it.
+	maxFrame int
+	enc      []byte
+	hdr      [5]byte // frame-header scratch (kept here so it never escapes per call)
+	dec      decodeScratch
 }
 
 // NewCodec returns a codec that encodes with the given compression. Decoding
@@ -167,9 +173,14 @@ func (c *Codec) decodeFrame(r io.Reader) (Msg, int, error) {
 		return nil, 0, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrame {
-		return nil, 0, fmt.Errorf("fed: frame length %d exceeds limit", n)
+	limit := c.maxFrame
+	if limit <= 0 || limit > maxFrame {
+		limit = maxFrame
 	}
+	if n > uint32(limit) {
+		return nil, 0, fmt.Errorf("fed: frame length %d exceeds limit %d", n, limit)
+	}
+	s.limit = limit
 	payload := grow(&s.payload, int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
@@ -414,6 +425,7 @@ func appendSparseFromDense(buf []byte, dense []float32, k int, q Quant) []byte {
 // messages.
 type decodeScratch struct {
 	hdr     [5]byte
+	limit   int // effective frame bound of the current decode (0 = default)
 	payload []byte
 	f32     []float32
 	f64     []float64
@@ -459,6 +471,17 @@ func (c *cursor) take(n int) []byte {
 	b := c.buf[c.off : c.off+n]
 	c.off += n
 	return b
+}
+
+// paramLimit is the logical params-length bound for this decode: a quarter of
+// the link's effective frame limit (every stored value costs ≥ 4 bytes dense),
+// so lowering the frame cap also bounds what a tiny sparse frame may densify
+// into.
+func (c *cursor) paramLimit() uint64 {
+	if c.scratch != nil && c.scratch.limit > 0 {
+		return uint64(c.scratch.limit) / 4
+	}
+	return maxParams
 }
 
 func (c *cursor) u8() byte {
@@ -515,8 +538,8 @@ func (c *cursor) params() (dense []float32, sp *tensor.SparseVec) {
 		c.err = fmt.Errorf("fed: unknown params format %#x", format)
 		return nil, nil
 	}
-	if n > maxParams {
-		c.err = fmt.Errorf("fed: params length %d exceeds limit", n)
+	if n > c.paramLimit() {
+		c.err = fmt.Errorf("fed: params length %d exceeds limit %d", n, c.paramLimit())
 		return nil, nil
 	}
 	q := Quant(format & fmtValueMask)
@@ -566,7 +589,7 @@ func (c *cursor) params() (dense []float32, sp *tensor.SparseVec) {
 		// wrap int64 into a duplicate, descending or negative index (which
 		// would break the strictly-ascending invariant the parallel
 		// scatter kernels rely on, or panic the aggregator).
-		if gap > maxParams {
+		if gap > c.paramLimit() {
 			c.err = fmt.Errorf("fed: sparse index gap %d exceeds limit", gap)
 			return nil, nil
 		}

@@ -152,6 +152,18 @@ type Config struct {
 	// on the server layout it is load-testing against. 0 or 1 keeps the
 	// single-loop SparseFedAvg default.
 	Shards int
+	// Robust (-aggregator) selects the server aggregation rule as a
+	// ParseAggregator spec ("fedavg", "trimmed-mean[:beta]", "median",
+	// "krum[:f]", "fedopt[:momentum[:inner]]"). The rule changes the global
+	// model's bits, so it is part of the job fingerprint — every process of
+	// one run must agree. Empty means fedavg.
+	Robust string
+	// RejectNonFinite (-reject-nonfinite) turns on server ingest hardening:
+	// updates carrying NaN/Inf parameters or a non-finite weight are counted
+	// and dropped instead of folded. It changes which updates reach the
+	// aggregator, so it is part of the job fingerprint. The CLI defaults it
+	// on whenever Robust selects a non-fedavg rule.
+	RejectNonFinite bool
 }
 
 // Scheduler policy names accepted by Config.Scheduler and
@@ -260,6 +272,16 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 	mix(uint64(cfg.Async.MaxStaleness))
 	mix(math.Float64bits(cfg.Async.StalenessAlpha))
 	mix(uint64(cfg.Shards))
+	robust := cfg.Robust
+	if robust == "" {
+		robust = "fedavg" // the empty spec and the explicit default are one job
+	}
+	mixStr(robust)
+	if cfg.RejectNonFinite {
+		mix(1)
+	} else {
+		mix(0)
+	}
 	for _, s := range extra {
 		mixStr(s)
 	}
@@ -281,8 +303,10 @@ func (cfg Config) ServerConfigFor(numClients, numTasks int) ServerConfig {
 		Seed:        cfg.Seed,
 		Scheduler:   cfg.Scheduler,
 		SyncEvict:   cfg.SyncEvict,
-		Async:       cfg.Async,
-		Shards:      cfg.Shards,
+		Async:           cfg.Async,
+		Shards:          cfg.Shards,
+		Robust:          cfg.Robust,
+		RejectNonFinite: cfg.RejectNonFinite,
 	}
 }
 

@@ -122,6 +122,8 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			s.stream.BeginRound()
 		}
 		firstLen := -1
+		folded := 0
+		nonFiniteMark, evictMark := s.nonFiniteTotal, s.evictTotal
 		for i, t := range s.links {
 			if !s.alive[i] {
 				continue
@@ -153,10 +155,16 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 					return fmt.Errorf("fed: client %d sent %d parameters, others sent %d",
 						i, n, firstLen)
 				}
-				if s.stream != nil {
-					s.stream.Accumulate(u)
-				} else {
-					s.updates = append(s.updates, u)
+				// Ingest hardening: a rejected update keeps its seat (the
+				// client still receives the round's broadcast and its traffic
+				// still counts) but never reaches the aggregator.
+				if s.admitUpdate(u, taskIdx) {
+					folded++
+					if s.stream != nil {
+						s.stream.Accumulate(u)
+					} else {
+						s.updates = append(s.updates, u)
+					}
 				}
 				s.metas = append(s.metas, updateMeta{
 					clientID: i, computeSeconds: u.ComputeSeconds,
@@ -192,6 +200,13 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		} else {
 			global = s.agg.Aggregate(s.updates)
 		}
+		if global == nil && len(s.metas) > 0 {
+			// Every participating update was rejected: the participants are
+			// blocked waiting for a broadcast that will never come, so fail
+			// loudly instead of deadlocking the lockstep.
+			return fmt.Errorf("fed: sync: every update of task %d round %d was rejected (%d non-finite)",
+				taskIdx, round, s.nonFiniteTotal-nonFiniteMark)
+		}
 		if global != nil {
 			s.version++
 			if s.snap != nil {
@@ -214,8 +229,10 @@ func (sc *SyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 		}
 		if s.obs != nil {
 			s.obs.RoundDone(RoundStats{
-				TaskIdx: taskIdx, Round: round, Participants: len(s.metas),
-				Version:        s.version,
+				TaskIdx: taskIdx, Round: round, Participants: folded,
+				Version:   s.version,
+				NonFinite: s.nonFiniteTotal - nonFiniteMark,
+				Evictions: s.evictTotal - evictMark,
 				ComputeSeconds: worstCompute, CommSeconds: worstComm,
 				UpBytes: roundUp, DownBytes: roundDown,
 			})

@@ -93,13 +93,15 @@ type AsyncScheduler struct {
 	paramLen int // agreed parameter-vector length (0 until the first update)
 
 	// current commit window
-	buffered     int // accepted updates in the window
-	staleCount   int // rejected-by-staleness updates in the window
-	commitIdx    int // commit ordinal within the current task
-	worstCompute float64
-	worstComm    float64
-	windowUp     int64
-	windowDown   int64
+	buffered       int // accepted updates in the window
+	staleCount     int // rejected-by-staleness updates in the window
+	nonFiniteCount int // rejected-by-ingest-hardening updates in the window
+	evictMark      int // server evictTotal at the window's open, for the delta
+	commitIdx      int // commit ordinal within the current task
+	worstCompute   float64
+	worstComm      float64
+	windowUp       int64
+	windowDown     int64
 
 	updatesSeen []int // per-client uploads received this task
 
@@ -262,6 +264,15 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			if wa, ok := s.stream.(windowedAggregator); ok {
 				wa.restoreWindow(snap.ParamLen, snap.WindowIdx, snap.WindowVals,
 					snap.WindowDense, snap.WindowTotal, snap.WindowCount)
+			} else {
+				// A buffered (robust) aggregator cannot export its open window
+				// as partial sums, so the cut carried only the window's
+				// accounting: drop the mid-fill state and restart the window
+				// empty. The discarded uploads are already in the Seen counts,
+				// so they are lost to the model, not retrained — log it.
+				s.logf("fed: async: %s cannot restore an open commit window; dropping %d buffered uploads from the cut",
+					s.agg.Name(), snap.WindowCount)
+				a.resetWindow()
 			}
 		}
 	}
@@ -317,7 +328,7 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	// cover the task's tail (an empty flush bumps no version and broadcasts
 	// nothing). Then close the task with the final broadcast every
 	// surviving client blocks on.
-	if a.buffered > 0 || a.staleCount > 0 {
+	if a.buffered > 0 || a.staleCount > 0 || a.nonFiniteCount > 0 {
 		a.commit(s, res, taskIdx)
 	}
 	final := &GlobalModel{Params: a.global, Version: s.version, TaskFinal: true}
@@ -518,6 +529,14 @@ func (a *AsyncScheduler) handleUpdate(s *Server, res *Result, taskIdx, id int, u
 	s.upBytes += u.UpBytes
 	s.downBytes += u.DownBytes
 
+	// Ingest hardening runs before the staleness check: a garbage update is
+	// rejected for being garbage. Like a staleness rejection, the books have
+	// already advanced (Seen, clocks, traffic), so cut a snapshot.
+	if !s.admitUpdate(u, taskIdx) {
+		a.nonFiniteCount++
+		s.snapshot(res, taskIdx, false)
+		return nil
+	}
 	staleness := int(s.version - u.BaseVersion)
 	if a.maxStale > 0 && staleness > a.maxStale {
 		a.staleCount++
@@ -567,10 +586,13 @@ func (a *AsyncScheduler) commit(s *Server, res *Result, taskIdx int) {
 	global := s.stream.FinishRound()
 	stats := RoundStats{
 		TaskIdx: taskIdx, Round: round, Participants: a.buffered,
-		Stale:          a.staleCount,
+		Stale:     a.staleCount,
+		NonFinite: a.nonFiniteCount,
+		Evictions: s.evictTotal - a.evictMark,
 		ComputeSeconds: a.worstCompute, CommSeconds: a.worstComm,
 		UpBytes: a.windowUp, DownBytes: a.windowDown,
 	}
+	a.evictMark = s.evictTotal
 	if global != nil {
 		s.version++
 		a.global = append([]float32(nil), global...)
@@ -669,7 +691,7 @@ func (a *AsyncScheduler) restoreSnapshot(s *Server, snap *checkpoint.ServerSnaps
 
 // resetWindow clears the per-commit accounting.
 func (a *AsyncScheduler) resetWindow() {
-	a.buffered, a.staleCount = 0, 0
+	a.buffered, a.staleCount, a.nonFiniteCount = 0, 0, 0
 	a.worstCompute, a.worstComm = 0, 0
 	a.windowUp, a.windowDown = 0, 0
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"sync"
 
 	"repro/internal/checkpoint"
@@ -30,6 +31,11 @@ type RoundStats struct {
 	// Stale is the number of updates rejected by the -max-staleness bound
 	// since the previous commit (always 0 under the synchronous scheduler).
 	Stale int
+	// NonFinite is the number of updates rejected by ingest hardening
+	// (NaN/Inf parameters or a non-finite weight) since the previous commit.
+	NonFinite int
+	// Evictions is the number of clients evicted since the previous commit.
+	Evictions int
 	// ComputeSeconds / CommSeconds are this round's simulated times (the
 	// slowest participant bounds a synchronous round).
 	ComputeSeconds float64
@@ -108,10 +114,26 @@ type ServerConfig struct {
 	// many per-shard reducers, otherwise the single-loop SparseFedAvg.
 	// Bitwise-identical results either way — see Config.Shards.
 	Shards int
+	// Robust selects the aggregation rule when no explicit Aggregator is
+	// passed to NewServer, as a ParseAggregator spec ("trimmed-mean:0.2",
+	// "median", "krum:1", "fedopt:0.9:median"). Empty or "fedavg" keeps the
+	// Shards-driven default. Part of the job fingerprint — every cohort
+	// member must agree on the rule.
+	Robust string
+	// RejectNonFinite turns on ingest hardening: updates carrying NaN/Inf
+	// parameters or a non-finite weight are rejected and counted
+	// (RoundStats.NonFinite) instead of folded into the global. The CLI
+	// defaults it on whenever a robust aggregator is selected.
+	RejectNonFinite bool
 	// Logf, when set, receives operational log lines (client evictions);
 	// nil uses the standard library logger. It never receives results.
 	Logf func(format string, args ...any)
 }
+
+// maxFiniteWeight bounds admissible update weights under ingest hardening:
+// +Inf (and anything a comparison cannot place below the float64 maximum) is
+// rejected the same way NaN parameters are.
+const maxFiniteWeight = math.MaxFloat64
 
 // updateMeta is the accounting a round keeps per participating update. The
 // Update itself may alias transport decode buffers, so the scalars the
@@ -166,6 +188,13 @@ type Server struct {
 	upBytes     int64
 	downBytes   int64
 
+	// nonFiniteTotal / evictTotal are the run's cumulative rejected-input
+	// accounting, surfaced by Rejections and sliced into per-commit deltas
+	// for RoundStats. (Staleness rejections live on the async scheduler,
+	// which persists them across restarts.)
+	nonFiniteTotal int
+	evictTotal     int
+
 	updates []*Update    // per-round scratch (buffered aggregators only)
 	metas   []updateMeta // per-round scratch
 	rows    [][]float64  // per-task eval scratch
@@ -190,7 +219,13 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 		panic(fmt.Sprintf("fed: %d transports for %d clients", len(links), cfg.NumClients))
 	}
 	if agg == nil {
-		if cfg.Shards > 1 {
+		if cfg.Robust != "" {
+			a, err := ParseAggregator(cfg.Robust, cfg.Shards)
+			if err != nil {
+				panic(err.Error())
+			}
+			agg = a
+		} else if cfg.Shards > 1 {
 			agg = NewShardedFedAvg(cfg.Shards)
 		} else {
 			agg = &SparseFedAvg{}
@@ -314,9 +349,47 @@ func (s *Server) evict(res *Result, taskIdx, id int, err error) {
 		return
 	}
 	s.alive[id] = false
+	s.evictTotal++
 	res.DeadAfter[id] = taskIdx
 	s.links[id].Close()
 	s.logf("fed: %s: evicted client %d at task %d: %v", s.sched.Name(), id, taskIdx, err)
+}
+
+// Rejections reports the run's cumulative rejected-input accounting: updates
+// dropped by ingest hardening (non-finite parameters or weight), updates
+// dropped by the async staleness bound, and clients evicted on transport
+// failure. The same counters reach the RoundObserver as per-commit deltas
+// (RoundStats.NonFinite, .Stale, .Evictions); this accessor is the run-level
+// summary the adversarial matrix legs assert on.
+func (s *Server) Rejections() (nonFinite, stale, evicted int) {
+	if as, ok := s.sched.(*AsyncScheduler); ok {
+		stale = as.staleTotal
+	}
+	return s.nonFiniteTotal, stale, s.evictTotal
+}
+
+// admitUpdate applies ingest hardening to one decoded update: when
+// RejectNonFinite is on and the update carries NaN/Inf parameters or a
+// non-finite or negative weight, it is rejected (counted, logged) instead of
+// reaching the aggregator. Reports whether the update may be folded.
+func (s *Server) admitUpdate(u *Update, taskIdx int) bool {
+	if !s.cfg.RejectNonFinite {
+		return true
+	}
+	ok := u.Weight == u.Weight && u.Weight >= 0 && u.Weight <= maxFiniteWeight
+	if ok {
+		if u.Sparse != nil {
+			ok = tensor.AllFinite(u.Sparse.Values)
+		} else {
+			ok = tensor.AllFinite(u.Params)
+		}
+	}
+	if ok {
+		return true
+	}
+	s.nonFiniteTotal++
+	s.logf("fed: %s: rejected non-finite update from client %d at task %d", s.sched.Name(), u.ClientID, taskIdx)
+	return false
 }
 
 // WireTraffic reports the measured bytes sent and received across every

@@ -31,6 +31,14 @@ type WireOptions struct {
 	// catch-up handshake — so the timeout can be an honest per-message
 	// bound on link health instead.
 	Timeout time.Duration
+	// MaxFrame, when positive, lowers this end's decoder frame-payload bound
+	// below the package default (256 MB) — the allocation a malicious or
+	// corrupt length prefix can force before validation fails. Size it to
+	// the job's dense model payload plus slack; the logical params-length
+	// bound scales with it (MaxFrame/4), so it also caps what a tiny sparse
+	// frame may claim to densify into. Values above the package default are
+	// clamped to it.
+	MaxFrame int
 }
 
 // deadliner is the subset of net.Conn the timeout support needs.
@@ -74,6 +82,7 @@ func NewWireWith(conn io.ReadWriteCloser, opts WireOptions) *WireTransport {
 		br:   bufio.NewReaderSize(conn, 1<<16),
 	}
 	w.codec.comp = opts.Compression
+	w.codec.maxFrame = opts.MaxFrame
 	w.dl, _ = conn.(deadliner)
 	return w
 }

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// naiveTrimmedMean computes the per-coordinate trimmed weighted mean with
+// sort.SliceStable — the specification TrimmedMeanCols must match bitwise.
+func naiveTrimmedMean(rows [][]float32, weights []float64, trim int) []float32 {
+	n := len(rows[0])
+	out := make([]float32, n)
+	for j := 0; j < n; j++ {
+		type pair struct {
+			v float32
+			w float64
+		}
+		ps := make([]pair, len(rows))
+		for i, r := range rows {
+			w := weights[i]
+			if w <= 0 {
+				w = 1
+			}
+			ps[i] = pair{r[j], w}
+		}
+		sort.SliceStable(ps, func(a, b int) bool { return ps[a].v < ps[b].v })
+		var sum, wsum float64
+		for _, p := range ps[trim : len(ps)-trim] {
+			sum += p.w * float64(p.v)
+			wsum += p.w
+		}
+		out[j] = float32(sum / wsum)
+	}
+	return out
+}
+
+func randRows(rng *RNG, m, n int) ([][]float32, []float64) {
+	rows := make([][]float32, m)
+	weights := make([]float64, m)
+	for i := range rows {
+		rows[i] = make([]float32, n)
+		for j := range rows[i] {
+			rows[i][j] = float32(rng.Norm())
+		}
+		weights[i] = 1 + rng.Float64()*3
+	}
+	// Inject ties so the stability tie-break is actually exercised.
+	if m >= 3 && n >= 2 {
+		rows[0][1] = rows[m-1][1]
+		rows[1][0] = rows[2][0]
+	}
+	return rows, weights
+}
+
+func TestTrimmedMeanColsMatchesNaive(t *testing.T) {
+	rng := NewRNG(3)
+	for _, m := range []int{1, 3, 5, 8} {
+		for _, trim := range []int{0, 1, 2} {
+			if 2*trim >= m {
+				continue
+			}
+			rows, weights := randRows(rng, m, 257)
+			want := naiveTrimmedMean(rows, weights, trim)
+			got := make([]float32, 257)
+			TrimmedMeanCols(got, rows, weights, trim)
+			for j := range want {
+				if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+					t.Fatalf("m=%d trim=%d coord %d: got %v want %v", m, trim, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMedianColsMatchesNaive(t *testing.T) {
+	rng := NewRNG(5)
+	for _, m := range []int{1, 2, 3, 4, 7, 8} {
+		rows, _ := randRows(rng, m, 129)
+		got := make([]float32, 129)
+		MedianCols(got, rows)
+		for j := 0; j < 129; j++ {
+			col := make([]float64, m)
+			for i, r := range rows {
+				col[i] = float64(r[j])
+			}
+			sort.Float64s(col)
+			var want float32
+			if m%2 == 1 {
+				want = float32(col[m/2])
+			} else {
+				want = float32((col[m/2-1] + col[m/2]) / 2)
+			}
+			if math.Float32bits(got[j]) != math.Float32bits(want) {
+				t.Fatalf("m=%d coord %d: got %v want %v", m, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestSelectColsDeterministicAcrossThreads: the per-coordinate kernels must
+// produce the same bits for every kernel-thread setting — the property the
+// robust aggregators' determinism contract rests on.
+func TestSelectColsDeterministicAcrossThreads(t *testing.T) {
+	rng := NewRNG(9)
+	rows, weights := randRows(rng, 9, 4096)
+	defer SetKernelThreads(0)
+
+	SetKernelThreads(1)
+	tmRef := make([]float32, 4096)
+	TrimmedMeanCols(tmRef, rows, weights, 2)
+	medRef := make([]float32, 4096)
+	MedianCols(medRef, rows)
+
+	for _, threads := range []int{2, 4, 16} {
+		SetKernelThreads(threads)
+		tm := make([]float32, 4096)
+		TrimmedMeanCols(tm, rows, weights, 2)
+		med := make([]float32, 4096)
+		MedianCols(med, rows)
+		for j := range tmRef {
+			if math.Float32bits(tm[j]) != math.Float32bits(tmRef[j]) {
+				t.Fatalf("threads=%d: trimmed mean differs at %d", threads, j)
+			}
+			if math.Float32bits(med[j]) != math.Float32bits(medRef[j]) {
+				t.Fatalf("threads=%d: median differs at %d", threads, j)
+			}
+		}
+	}
+}
+
+func TestSqDist64(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{2, 0, 3}
+	if got := SqDist64(a, b); got != 5 {
+		t.Fatalf("SqDist64 = %v, want 5", got)
+	}
+	if got := SqDist64(nil, nil); got != 0 {
+		t.Fatalf("SqDist64(nil) = %v, want 0", got)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float32{0, -1, 2.5, math.MaxFloat32, -math.MaxFloat32}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if AllFinite([]float32{0, float32(math.NaN())}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float32{float32(math.Inf(1))}) {
+		t.Fatal("+Inf not detected")
+	}
+	if AllFinite([]float32{0, 1, float32(math.Inf(-1))}) {
+		t.Fatal("-Inf not detected")
+	}
+	if !AllFinite(nil) {
+		t.Fatal("empty slice must be finite")
+	}
+}
