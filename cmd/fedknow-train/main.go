@@ -52,6 +52,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 
@@ -73,6 +74,8 @@ type job struct {
 	reconnect int    // client role: max consecutive rejoin attempts (0 = off)
 	snapDir   string // server role: durable snapshot directory ("" = off)
 	snapKeep  int    // server role: previous snapshots kept besides the newest
+	minCohort int    // server role: fresh connections awaited before the run starts
+	maxCohort int    // server role: seat-book cap for mid-run joins
 	fam     data.Family
 	scale   data.Scale
 	arch    string
@@ -116,6 +119,9 @@ func main() {
 	syncEvict := flag.Bool("sync-evict", false, "sync scheduler: evict a client whose connection drops and keep the cohort going instead of aborting the run (relaxes lockstep reproducibility; every process of one run must agree)")
 	snapshotDir := flag.String("snapshot-dir", "", "server role: durably snapshot the versioned global and the full seat book to this directory at every commit and task boundary; a restarted server finding a snapshot here resumes the run, re-admitting -reconnect clients through the rejoin path (requires -listen; restart recovery requires -scheduler async)")
 	snapshotKeep := flag.Int("snapshot-keep", 1, "previous snapshots retained besides the newest (negative keeps all)")
+	minCohort := flag.Int("min-cohort", 0, "server role, elastic membership: start the run once this many fresh clients have connected instead of all -clients; the rest may enroll mid-run with -join (requires -listen and -scheduler async; 0 = -clients, the fixed-cohort default)")
+	maxCohort := flag.Int("max-cohort", 0, "server role, elastic membership: cap the seat book — mid-run -join enrollments beyond it are refused and counted (0 = -clients; at most -clients, the data-shard space)")
+	join := flag.Bool("join", false, "client role, elastic membership: enroll into the running federation without a preassigned seat — the server assigns the seat ID and replies with a catch-up (requires -connect and -scheduler async; excludes -client-id)")
 	flag.Parse()
 	tensor.SetKernelThreads(*kernelThreads)
 
@@ -142,6 +148,34 @@ func main() {
 	if *snapshotDir != "" && *listen == "" {
 		fmt.Fprintln(os.Stderr, "-snapshot-dir requires -listen (snapshots capture the wire server's seat book; loopback runs have no rejoin path to restore through)")
 		os.Exit(2)
+	}
+	if (*minCohort != 0 || *maxCohort != 0) && *listen == "" {
+		fmt.Fprintln(os.Stderr, "-min-cohort/-max-cohort require -listen (elastic membership is a wire-server feature)")
+		os.Exit(2)
+	}
+	if (*minCohort != 0 || *maxCohort != 0) && *scheduler != fed.SchedulerAsync {
+		fmt.Fprintln(os.Stderr, "-min-cohort/-max-cohort require -scheduler async (a lockstep cohort is fixed at round start)")
+		os.Exit(2)
+	}
+	if *join {
+		if *connect == "" {
+			fmt.Fprintln(os.Stderr, "-join requires -connect (it is a client-role flag)")
+			os.Exit(2)
+		}
+		if *scheduler != fed.SchedulerAsync {
+			fmt.Fprintln(os.Stderr, "-join requires -scheduler async (only the async scheduler admits mid-run seats)")
+			os.Exit(2)
+		}
+		clientIDSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "client-id" {
+				clientIDSet = true
+			}
+		})
+		if clientIDSet {
+			fmt.Fprintln(os.Stderr, "-join excludes -client-id (the server assigns the seat; use -connect with -client-id for a fresh-cohort seat)")
+			os.Exit(2)
+		}
 	}
 	quant, ok := fed.QuantByName(*compress)
 	if !ok {
@@ -227,6 +261,8 @@ func main() {
 		reconnect: *reconnect,
 		snapDir:   *snapshotDir,
 		snapKeep:  *snapshotKeep,
+		minCohort: *minCohort,
+		maxCohort: *maxCohort,
 		fam: fam, scale: sc, arch: architecture, width: rt.Width,
 		clients: rt.Clients, tasks: len(tasks), ds: ds, seqs: seqs,
 		cluster: device.Jetson20(),
@@ -235,13 +271,30 @@ func main() {
 		},
 		factory: experiments.MethodFactory(*method, sc),
 	}
+	// Resolve the elastic-cohort knobs against the seat space. -clients is
+	// the data-shard (and so seat-ID) space; the initial cohort may be
+	// smaller, the cap may not exceed it.
+	if j.minCohort == 0 {
+		j.minCohort = j.clients
+	}
+	if j.maxCohort == 0 {
+		j.maxCohort = j.clients
+	}
+	if j.minCohort < 1 || j.minCohort > j.clients {
+		fmt.Fprintf(os.Stderr, "-min-cohort %d out of range [1,%d] (-clients bounds the seat space)\n", j.minCohort, j.clients)
+		os.Exit(2)
+	}
+	if j.maxCohort < j.minCohort || j.maxCohort > j.clients {
+		fmt.Fprintf(os.Stderr, "-max-cohort %d out of range [%d,%d] (at least -min-cohort, at most -clients)\n", j.maxCohort, j.minCohort, j.clients)
+		os.Exit(2)
+	}
 
 	var err error
 	switch {
 	case *listen != "":
 		err = runServe(j, *listen)
 	case *connect != "":
-		err = runConnect(j, *connect, *clientID)
+		err = runConnect(j, *connect, *clientID, *join)
 	default:
 		runLoopback(j)
 	}
@@ -319,12 +372,16 @@ func runServe(j *job, addr string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s, waiting for %d clients...\n", ln.Addr(), j.clients)
+	fmt.Printf("serving on %s, waiting for %d clients...\n", ln.Addr(), j.minCohort)
 	var links []fed.Transport
 	var acceptor *fed.RejoinAcceptor
 	if j.cfg.Scheduler == fed.SchedulerAsync {
-		links, acceptor, err = fed.ServeRejoinWith(ln, j.clients, j.fingerprint(), j.wire)
+		// The fresh cohort is -min-cohort seats; the acceptor keeps the
+		// listener open for the rest of the run, bounding rejoin seat IDs by
+		// -max-cohort so a mid-run joiner that later drops can come back.
+		links, err = fed.ServeWith(ln, j.minCohort, j.fingerprint(), j.wire)
 		if err == nil {
+			acceptor = fed.AcceptRejoins(ln, j.maxCohort, j.fingerprint(), j.wire)
 			defer acceptor.Close()
 		}
 	} else {
@@ -334,9 +391,15 @@ func runServe(j *job, addr string) error {
 	if err != nil {
 		return err
 	}
-	srv := fed.NewServer(j.cfg.ServerConfigFor(j.clients, j.tasks), nil, links)
+	// A sync run always resolves -min-cohort/-max-cohort to -clients, so the
+	// fixed-cohort configuration is unchanged by the elastic knobs.
+	scfg := j.cfg.ServerConfigFor(j.minCohort, j.tasks)
+	scfg.MaxCohort = j.maxCohort
+	srv := fed.NewServer(scfg, nil, links)
 	if acceptor != nil {
+		acceptor.SetLogf(log.Printf)
 		srv.SetRejoins(acceptor.Rejoins())
+		srv.SetJoins(acceptor.Joins())
 	}
 	if store != nil {
 		srv.SetSnapshots(store)
@@ -365,7 +428,9 @@ func runRestore(j *job, addr string, store *checkpoint.Store, snap *checkpoint.S
 	if j.cfg.Scheduler != fed.SchedulerAsync {
 		return fmt.Errorf("snapshot found in %s, but restart recovery requires -scheduler async (lockstep has no rejoin path to re-admit the cohort through)", store.Dir())
 	}
-	srv, err := fed.NewServerFromSnapshot(j.cfg.ServerConfigFor(j.clients, j.tasks), nil, snap)
+	scfg := j.cfg.ServerConfigFor(j.minCohort, j.tasks)
+	scfg.MaxCohort = j.maxCohort
+	srv, err := fed.NewServerFromSnapshot(scfg, nil, snap)
 	if err != nil {
 		return err
 	}
@@ -373,9 +438,11 @@ func runRestore(j *job, addr string, store *checkpoint.Store, snap *checkpoint.S
 	if err != nil {
 		return err
 	}
-	acceptor := fed.AcceptRejoins(ln, j.clients, j.fingerprint(), j.wire)
+	acceptor := fed.AcceptRejoins(ln, j.maxCohort, j.fingerprint(), j.wire)
 	defer acceptor.Close()
+	acceptor.SetLogf(log.Printf)
 	srv.SetRejoins(acceptor.Rejoins())
+	srv.SetJoins(acceptor.Joins())
 	srv.SetSnapshots(store)
 	srv.SetObserver(streamRows())
 	if snap.TaskIdx >= j.tasks {
@@ -401,8 +468,14 @@ func runRestore(j *job, addr string, store *checkpoint.Store, snap *checkpoint.S
 // shard and model deterministically from the shared flags, dial the server,
 // and follow the round lifecycle until the server closes the link. With
 // -reconnect a dropped connection is rejoined with the catch-up handshake
-// instead of ending the process.
-func runConnect(j *job, addr string, id int) error {
+// instead of ending the process. With -join the client enrolls mid-run: the
+// server assigns the seat ID, the client rebuilds that seat's shard and
+// model, resumes from the catch-up, and heals later drops through the
+// ordinary rejoin path.
+func runConnect(j *job, addr string, id int, join bool) error {
+	if join {
+		return runJoin(j, addr)
+	}
 	if id < 0 || id >= j.clients {
 		return fmt.Errorf("client id %d out of range [0,%d)", id, j.clients)
 	}
@@ -428,5 +501,33 @@ func runConnect(j *job, addr string, id int) error {
 		return err
 	}
 	fmt.Printf("client %d done\n", id)
+	return nil
+}
+
+// runJoin enrolls a seatless client mid-run: the join handshake returns the
+// server-assigned seat, from which the client deterministically rebuilds that
+// seat's data shard and model (exactly as a fresh-cohort process with that
+// -client-id would have), then resumes the async lifecycle from the server's
+// catch-up. A later drop rejoins the assigned seat like any -reconnect
+// client.
+func runJoin(j *job, addr string) error {
+	t, seat, cu, err := fed.DialJoinWith(addr, j.fingerprint(), j.wire)
+	if err != nil {
+		return err
+	}
+	if seat < 0 || seat >= j.clients {
+		t.Close()
+		return fmt.Errorf("server assigned seat %d outside this job's seat space [0,%d)", seat, j.clients)
+	}
+	c := fed.NewWireClient(j.cfg, seat, j.clients, j.cluster.Devices[seat%j.cluster.Size()],
+		j.seqs[seat], j.build, j.factory)
+	fmt.Printf("client enrolled mid-run as seat %d on %s (catch-up: task %d, v%d)\n",
+		seat, addr, cu.TaskIdx+1, cu.Version)
+	if err := c.ResumeReconnect(context.Background(), fed.Reconnect{
+		Addr: addr, Fingerprint: j.fingerprint(), Wire: j.wire, Attempts: j.reconnect,
+	}, t, cu); err != nil {
+		return err
+	}
+	fmt.Printf("client %d done\n", seat)
 	return nil
 }

@@ -222,7 +222,7 @@ func runGarbageScenario(truth []float64) {
 	if dev := advDeviation(robustGlobal, truth); dev > 0.25 {
 		fail(fmt.Errorf("garbage: hardened global deviates %.3f from the truth", dev))
 	}
-	nonFinite, _, _ := srv.Rejections()
+	nonFinite, _, _, _ := srv.Rejections()
 	if nonFinite != advRounds {
 		fail(fmt.Errorf("garbage: %d non-finite rejections recorded, want %d", nonFinite, advRounds))
 	}
@@ -353,7 +353,7 @@ func runStaleReplayScenario(truth []float64) {
 		fail(fmt.Errorf("adversarial stale-replay: %w", err))
 	}
 	wg.Wait()
-	_, stale, evicted := srv.Rejections()
+	_, stale, evicted, _ := srv.Rejections()
 	if stale != advRounds {
 		fail(fmt.Errorf("stale-replay: %d replays rejected, want %d", stale, advRounds))
 	}
@@ -418,7 +418,7 @@ func runOversizedFrameScenario(truth []float64) {
 	if _, ok := res.DeadAfter[advVictim]; !ok {
 		fail(fmt.Errorf("oversized-frame: attacker not evicted (DeadAfter %v)", res.DeadAfter))
 	}
-	if _, _, evicted := srv.Rejections(); evicted < 1 {
+	if _, _, evicted, _ := srv.Rejections(); evicted < 1 {
 		fail(fmt.Errorf("oversized-frame: eviction not counted"))
 	}
 	if len(res.PerTask) != 1 {

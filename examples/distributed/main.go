@@ -18,6 +18,15 @@
 // strategies, only typed round messages (RoundStart → Update → GlobalModel →
 // RoundEnd), so the simulator is just one binding of a real protocol.
 //
+// An elastic-churn leg exercises v5 membership end to end: the server starts
+// with a partial cohort (-min-cohort style), a seatless client enrolls
+// mid-run through the join handshake and is assigned the open seat, the
+// server is then killed and restored from a snapshot carrying the *grown*
+// seat book, a founder retires its seat with a clean Leave after its first
+// task, and another founder's connection is killed and healed through the
+// rejoin path — all while tasks progress, with the run asserted to complete
+// every task and the final seat book matching the scripted churn exactly.
+//
 // A final adversarial leg turns one peer hostile: scripted Byzantine attacks
 // (sign-flip and scaled poisoning, NaN/Inf garbage, stale replays, oversized
 // frames, slow-loris silence) run naive-vs-defended, asserting each attack
@@ -26,8 +35,9 @@
 //
 // Run with -short for a CI-sized configuration, -leg rejoin to run only the
 // kill-and-rejoin chaos leg, -leg crash to run only the server-kill
-// crash-restart leg, and -leg adversarial to run only the hostile-peer
-// matrix (CI runs the chaos and adversarial legs under the race detector).
+// crash-restart leg, -leg churn to run only the elastic-membership leg, and
+// -leg adversarial to run only the hostile-peer matrix (CI runs the chaos,
+// churn and adversarial legs under the race detector).
 package main
 
 import (
@@ -51,10 +61,10 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "shrink the run for CI")
-	leg := flag.String("leg", "all", "all, rejoin (kill-and-rejoin only), crash (server-kill restart only), or adversarial (hostile-peer matrix only)")
+	leg := flag.String("leg", "all", "all, rejoin (kill-and-rejoin only), crash (server-kill restart only), churn (elastic join/leave only), or adversarial (hostile-peer matrix only)")
 	flag.Parse()
-	if *leg != "all" && *leg != "rejoin" && *leg != "crash" && *leg != "adversarial" {
-		fail(fmt.Errorf("unknown -leg %q (all, rejoin, crash, adversarial)", *leg))
+	if *leg != "all" && *leg != "rejoin" && *leg != "crash" && *leg != "churn" && *leg != "adversarial" {
+		fail(fmt.Errorf("unknown -leg %q (all, rejoin, crash, churn, adversarial)", *leg))
 	}
 	if *leg == "adversarial" {
 		runAdversarial()
@@ -92,6 +102,10 @@ func main() {
 	}
 	if *leg == "crash" {
 		runCrashRestart(cfg, numClients, numTasks, cluster, seqs, build, factory)
+		return
+	}
+	if *leg == "churn" {
+		runElasticChurn(cfg, numClients, numTasks, cluster, seqs, build, factory)
 		return
 	}
 
@@ -157,7 +171,12 @@ func main() {
 	// its newest durable snapshot.
 	runCrashRestart(cfg, numClients, numTasks, cluster, seqs, build, factory)
 
-	// 8. Hostile: the adversarial matrix — one scripted Byzantine peer per
+	// 8. Elastic: a partial cohort grows by a mid-run join, survives a
+	// server crash with the grown seat book, shrinks by a clean leave, and
+	// heals a killed connection — all in one run.
+	runElasticChurn(cfg, numClients, numTasks, cluster, seqs, build, factory)
+
+	// 9. Hostile: the adversarial matrix — one scripted Byzantine peer per
 	// scenario against the server's robust-aggregation and ingest defences.
 	runAdversarial()
 }

@@ -22,11 +22,15 @@ import (
 // snapshot instead of restoring garbage.
 const (
 	magicSnapshot = uint32(0xFEDC0003)
-	// snapshotVersion is the written format. v2 appended the open commit
-	// window (the async scheduler's partial aggregation between commits) so
-	// a restart resumes mid-window instead of discarding up to K−1 folded
-	// uploads; v1 files still load, with an empty window.
-	snapshotVersion   = uint32(2)
+	// snapshotVersion is the written format. v3 added the seat flag for a
+	// cleanly departed seat (SeatRecord.Left), so elastic-membership churn
+	// composes with crash-restart: a retired seat restores retired, not as an
+	// awaited rejoiner. v2 appended the open commit window (the async
+	// scheduler's partial aggregation between commits) so a restart resumes
+	// mid-window instead of discarding up to K−1 folded uploads. v1 and v2
+	// files still load, with an empty window and no departed seats
+	// respectively.
+	snapshotVersion   = uint32(3)
 	snapshotVersionV1 = uint32(1)
 	// snapshotHeaderLen is magic (4) + format version (4) + payload length (8).
 	snapshotHeaderLen = 16
@@ -47,6 +51,11 @@ type SeatRecord struct {
 	// Dead reports the seat was recorded in Result.DeadAfter (evicted, or a
 	// device death report) at DeadAtTask.
 	Dead bool
+	// Left reports the seat retired itself with a clean Leave frame (v3):
+	// neither alive nor dead, its books closed in good standing. A restarted
+	// server does not await its rejoin — though the departed client may
+	// still make one.
+	Left bool
 	// DeadAtTask is the task index recorded in DeadAfter; meaningless unless
 	// Dead.
 	DeadAtTask int
@@ -177,6 +186,9 @@ func WriteSnapshot(w io.Writer, snap *ServerSnapshot) error {
 		if seat.Dead {
 			flags |= 2
 		}
+		if seat.Left {
+			flags |= 4
+		}
 		pw.u8(flags)
 		pw.u64(uint64(seat.DeadAtTask))
 		pw.f64(seat.SimSeconds)
@@ -247,7 +259,7 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (*ServerSnapshot, error) {
 		return nil, fmt.Errorf("checkpoint: bad snapshot magic %#x", m)
 	}
 	ver := binary.LittleEndian.Uint32(hdr[4:])
-	if ver != snapshotVersion && ver != snapshotVersionV1 {
+	if ver < snapshotVersionV1 || ver > snapshotVersion {
 		return nil, fmt.Errorf("checkpoint: unsupported snapshot format version %d", ver)
 	}
 	n := binary.LittleEndian.Uint64(hdr[8:])
@@ -290,6 +302,7 @@ func ReadSnapshot(r io.Reader, maxBytes int64) (*ServerSnapshot, error) {
 			snap.Seats[i] = SeatRecord{
 				Alive:       flags&1 != 0,
 				Dead:        flags&2 != 0,
+				Left:        flags&4 != 0,
 				DeadAtTask:  pr.intField("dead-at task"),
 				SimSeconds:  pr.f64(),
 				CommSeconds: pr.f64(),

@@ -50,6 +50,11 @@ type Client struct {
 	taskEnded int
 	finished  bool
 
+	// leaveAfter, when >= 0, is the task index after whose completed report
+	// the client retires its seat with a clean Leave frame and stops
+	// (SetLeaveAfterTask). -1 means never leave early.
+	leaveAfter int
+
 	// scratch, reused every round/batch
 	flatBuf   []float32
 	mergedBuf []float32
@@ -78,9 +83,18 @@ func newClient(cfg Config, id, numClients int, dev device.Device, seq []data.Cli
 	}
 	return &Client{
 		cfg: cfg, ctx: ctx, strategy: factory(ctx),
-		seq: seq, dev: dev, curTask: -1, taskEnded: -1,
+		seq: seq, dev: dev, curTask: -1, taskEnded: -1, leaveAfter: -1,
 	}
 }
+
+// SetLeaveAfterTask makes the client retire its seat cleanly after reporting
+// task n (0-based): once that task's RoundEnd is delivered, the client sends
+// a Leave frame and stops, finished — the elastic-membership departure, as
+// opposed to just dropping the connection (which the server treats as an
+// eviction and RunReconnect would heal). Asynchronous scheduler only; the
+// lockstep protocol has no mid-run departure, so the synchronous client
+// ignores it. A value past the final task (or -1, the default) never fires.
+func (c *Client) SetLeaveAfterTask(n int) { c.leaveAfter = n }
 
 // NewWireClient builds a standalone client endpoint (for a separate process
 // or goroutine dialing a server) that reproduces the loopback engine's
@@ -342,6 +356,16 @@ func (c *Client) asyncLoop(ctx context.Context, t Transport, in *inbox, resume *
 			return err
 		}
 		if done {
+			return nil
+		}
+		if c.leaveAfter >= 0 && taskIdx >= c.leaveAfter && !c.finished {
+			// Clean retirement: this task's report is delivered; tell the
+			// server the seat is done federating and stop as finished, so a
+			// surrounding RunReconnect treats this as the clean shutdown it is.
+			if err := t.Send(&Leave{ClientID: c.ctx.ID}); err != nil {
+				return err
+			}
+			c.finished = true
 			return nil
 		}
 	}

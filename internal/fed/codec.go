@@ -9,14 +9,14 @@ import (
 	"repro/internal/tensor"
 )
 
-// Wire format v4 (all fixed-width integers little-endian, counts unsigned
+// Wire format v5 (all fixed-width integers little-endian, counts unsigned
 // varints; the maintained reference is docs/WIRE_FORMAT.md):
 //
 //	frame   := kind(uint8) length(uint32) payload
 //	payload :=
 //	  Hello       clientID(uint32) jobFingerprint(uint64) quant(uint8)
 //	              flags(uint8) lastVersion(uvarint)
-//	              flags: bit0 rejoin
+//	              flags: bit0 rejoin, bit1 join
 //	  RoundStart  taskIdx(uint32) round(uint32) flags(uint8)
 //	              flags: bit0 participate, bit1 taskDone
 //	  Update      clientID(uint32) flags(uint8) weight(float64)
@@ -30,8 +30,16 @@ import (
 //	  Catchup     taskIdx(uint32) seen(uvarint) version(uvarint) flags(uint8)
 //	              params
 //	              flags: bit0 taskFinal, bit1 taskDone
+//	  Leave       clientID(uint32)
 //
-// v4 adds the rejoin path: the Hello frame grew a flags byte (bit0 marks a
+// v5 adds elastic membership: the Hello flags byte grew bit1 (join — a
+// seatless client asking the server to assign one; clientID must be 0 and
+// the server replies with a seat-assignment Hello carrying the assigned ID,
+// then a v4 Catchup positioning the joiner), and the new Leave frame retires
+// a seat cleanly. Existing frame layouts are byte-identical to v4, so a
+// fixed cohort's wire bytes are unchanged; v4 and v5 binaries still refuse
+// to interoperate at the fingerprint handshake (formatVersion bump). v4
+// added the rejoin path: the Hello frame grew a flags byte (bit0 marks a
 // rejoining client) and the client's last-seen global version, and the new
 // Catchup frame is the server's re-admission reply. v3 added the
 // global-version plumbing the asynchronous scheduler needs
@@ -66,11 +74,18 @@ const (
 	// tiny hostile sparse frame cannot make the receiver densify gigabytes.
 	maxParams = maxFrame / 4
 
+	// maxSeatID bounds a wire-claimed seat ID (hello, Leave) and task
+	// position (Catchup) at decode time: anything beyond it is a malformed
+	// frame, rejected before the receiver validates — or allocates —
+	// anything downstream, and int stays positive on every platform.
+	maxSeatID = 1<<31 - 1
+
 	flagParticipate = 1 << 0
 	flagTaskDone    = 1 << 1
 	flagDead        = 1 << 0
 	flagTaskFinal   = 1 << 0
 	flagRejoin      = 1 << 0
+	flagJoin        = 1 << 1
 
 	fmtValueMask = 0x03
 	fmtSparse    = 0x04
@@ -102,13 +117,19 @@ func (c Compression) formatByte(sparse bool) byte {
 // quantization changes results, so a server rejects clients that disagree
 // instead of silently mixing precisions. A rejoining client sets the rejoin
 // flag and its last-seen global version, and expects a Catchup reply
-// instead of the fresh-cohort admission. It never crosses the Transport
-// interface.
+// instead of the fresh-cohort admission. A joining client (v5) sets the
+// join flag with clientID 0 — it has no seat yet — and expects a
+// seat-assignment hello (the same frame, server → client, no role flags,
+// clientID carrying the assigned seat) followed by a Catchup. The decoder
+// rejects a hello claiming both roles, or a join claiming a seat, as
+// malformed. It never crosses the
+// Transport interface.
 type helloMsg struct {
 	clientID    int
 	fingerprint uint64
 	quant       Quant
 	rejoin      bool
+	join        bool
 	lastVersion uint64
 }
 
@@ -225,6 +246,9 @@ func appendPayload(buf []byte, m Msg, comp Compression) []byte {
 		if v.rejoin {
 			flags |= flagRejoin
 		}
+		if v.join {
+			flags |= flagJoin
+		}
 		buf = append(buf, flags)
 		buf = binary.AppendUvarint(buf, v.lastVersion)
 	case *RoundStart:
@@ -283,6 +307,8 @@ func appendPayload(buf []byte, m Msg, comp Compression) []byte {
 		}
 		buf = append(buf, flags)
 		buf = appendParams(buf, v.Params, nil, comp)
+	case *Leave:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.ClientID))
 	default:
 		panic(fmt.Sprintf("fed: cannot encode message type %T", m))
 	}
@@ -439,6 +465,7 @@ type decodeScratch struct {
 	gm    GlobalModel
 	re    RoundEnd
 	cu    Catchup
+	lv    Leave
 	sp    tensor.SparseVec
 }
 
@@ -682,7 +709,22 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 		if c.err == nil && m.quant > QuantI8 {
 			c.err = fmt.Errorf("fed: unknown quantisation mode %d in hello", m.quant)
 		}
-		m.rejoin = c.u8()&flagRejoin != 0
+		if c.err == nil && uint64(m.clientID) > maxSeatID {
+			c.err = fmt.Errorf("fed: malformed seat ID %d in hello", m.clientID)
+		}
+		flags := c.u8()
+		m.rejoin = flags&flagRejoin != 0
+		m.join = flags&flagJoin != 0
+		if c.err == nil && m.join {
+			// A join hello is seatless by definition: the server assigns the
+			// ID. Claiming one — or both the join and rejoin roles at once —
+			// is a malformed frame, rejected before the acceptor sees it.
+			if m.rejoin {
+				c.err = fmt.Errorf("fed: hello claims both join and rejoin")
+			} else if m.clientID != 0 {
+				c.err = fmt.Errorf("fed: join hello claims seat %d, want 0 (the server assigns seats)", m.clientID)
+			}
+		}
 		m.lastVersion = c.uvarint()
 		return c.finish(m)
 	case KindRoundStart:
@@ -727,6 +769,11 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 		m := &s.cu
 		taskIdx := int(c.u32())
 		seen := c.uvarint()
+		if c.err == nil && (uint64(taskIdx) > maxSeatID || seen > maxSeatID) {
+			// Validated before the params block is decoded: a hostile task
+			// position or resume round is refused before any allocation.
+			c.err = fmt.Errorf("fed: catch-up position (task %d, seen %d) out of range", taskIdx, seen)
+		}
 		version := c.uvarint()
 		flags := c.u8()
 		dense, sp := c.params()
@@ -739,6 +786,13 @@ func decodePayload(kind Kind, payload []byte, s *decodeScratch) (Msg, error) {
 		*m = Catchup{TaskIdx: taskIdx, Seen: int(seen), Version: version,
 			TaskFinal: flags&flagTaskFinal != 0, TaskDone: flags&flagTaskDone != 0,
 			Params: dense}
+		return c.finish(m)
+	case KindLeave:
+		m := &s.lv
+		*m = Leave{ClientID: int(c.u32())}
+		if c.err == nil && uint64(m.ClientID) > maxSeatID {
+			c.err = fmt.Errorf("fed: malformed seat ID %d in leave", m.ClientID)
+		}
 		return c.finish(m)
 	default:
 		return nil, fmt.Errorf("fed: unknown message kind %d", kind)

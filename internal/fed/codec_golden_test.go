@@ -9,13 +9,14 @@ import (
 )
 
 // TestCodecGoldenFrames pins the wire format at the byte level: these
-// fixtures are the frozen v4 encodings of representative frames (v3 plus
-// the rejoin path: the hello's rejoin flag and last-seen version, and the
-// Catchup reply — see docs/WIRE_FORMAT.md). If one of them changes, the
-// codec changed — bump the Fingerprint formatVersion, regenerate the
-// fixtures deliberately, and expect old and new binaries not to
-// interoperate. An accidental diff here is a protocol break that the
-// round-trip tests alone would not catch.
+// fixtures are the frozen v5 encodings of representative frames — the v4
+// set (whose bytes v5 leaves untouched: a fixed cohort speaks bytes
+// identical to v4) plus the elastic-membership additions: the hello's join
+// flag, the server's seat-assignment hello reply, and the Leave frame (see
+// docs/WIRE_FORMAT.md). If one of them changes, the codec changed — bump
+// the Fingerprint formatVersion, regenerate the fixtures deliberately, and
+// expect old and new binaries not to interoperate. An accidental diff here
+// is a protocol break that the round-trip tests alone would not catch.
 func TestCodecGoldenFrames(t *testing.T) {
 	sparse := &tensor.SparseVec{N: 8, Indices: []int32{1, 2, 7}, Values: []float32{1, -2, 0.5}}
 	cases := []struct {
@@ -35,6 +36,30 @@ func TestCodecGoldenFrames(t *testing.T) {
 			name: "rejoin hello",
 			msg:  &helloMsg{clientID: 2, fingerprint: 0xDEADBEEFCAFE, rejoin: true, lastVersion: 300},
 			hex:  "001000000002000000fecaefbeadde00000001ac02",
+		},
+		{
+			// flags bit1 marks the join; the clientID field is zero because
+			// the server assigns the seat in its reply.
+			name: "join hello",
+			msg:  &helloMsg{fingerprint: 0xDEADBEEFCAFE, join: true},
+			hex:  "000f00000000000000fecaefbeadde0000000200",
+		},
+		{
+			// The server's reply to a join hello: a plain hello whose
+			// clientID is the assigned seat (no fingerprint, no flags).
+			name: "seat-assignment hello",
+			msg:  &helloMsg{clientID: 5},
+			hex:  "000f000000050000000000000000000000000000",
+		},
+		{
+			name: "leave",
+			msg:  &Leave{ClientID: 3},
+			hex:  "060400000003000000",
+		},
+		{
+			name: "leave of a late seat",
+			msg:  &Leave{ClientID: 300},
+			hex:  "06040000002c010000",
 		},
 		{
 			name: "round start",

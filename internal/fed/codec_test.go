@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/tensor"
@@ -32,6 +33,11 @@ func TestCodecRoundTrip(t *testing.T) {
 	msgs := []Msg{
 		&helloMsg{clientID: 7, fingerprint: 0xDEADBEEFCAFE},
 		&helloMsg{clientID: 4, fingerprint: 99, rejoin: true, lastVersion: 1 << 40},
+		&helloMsg{fingerprint: 0xFEED, join: true},
+		&helloMsg{fingerprint: 7, join: true, lastVersion: 1 << 33},
+		&helloMsg{clientID: 9}, // seat-assignment reply
+		&Leave{ClientID: 0},
+		&Leave{ClientID: 1 << 20},
 		&Catchup{TaskIdx: 2, Seen: 3, Version: 300, Params: []float32{1, -2}},
 		&Catchup{TaskIdx: 0, Seen: 1, Version: 7, TaskFinal: true, Params: []float32{0.5}},
 		&Catchup{TaskIdx: 1, Seen: 2, Version: 9, TaskDone: true},
@@ -115,6 +121,79 @@ func TestCodecErrors(t *testing.T) {
 	// A clean EOF at a frame boundary is not an error condition.
 	if _, err := Decode(bytes.NewReader(nil)); err != io.EOF {
 		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestCodecMembershipErrors pins the v5 decode-time validation of the
+// membership frames: a malformed seat ID, a hello claiming both roles or a
+// pre-picked seat, and an out-of-range catch-up position are all rejected
+// while the frame is being read — before the acceptor, the scheduler, or
+// the params allocator ever sees the claim.
+func TestCodecMembershipErrors(t *testing.T) {
+	hello := func(clientID [4]byte, flags byte) []byte {
+		raw := append([]byte{byte(KindHello), 15, 0, 0, 0}, clientID[:]...)
+		raw = append(raw, 1, 0, 0, 0, 0, 0, 0, 0) // fingerprint
+		return append(raw, 0, flags, 0)           // quant, flags, lastVersion
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want string
+	}{
+		{
+			name: "hello claiming join and rejoin at once",
+			raw:  hello([4]byte{}, flagJoin|flagRejoin),
+			want: "claims both join and rejoin",
+		},
+		{
+			name: "join hello claiming a seat",
+			raw:  hello([4]byte{2, 0, 0, 0}, flagJoin),
+			want: "join hello claims seat 2",
+		},
+		{
+			name: "hello seat ID beyond the bound",
+			raw:  hello([4]byte{0xFF, 0xFF, 0xFF, 0xFF}, 0),
+			want: "malformed seat ID",
+		},
+		{
+			name: "leave seat ID beyond the bound",
+			raw:  []byte{byte(KindLeave), 4, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF},
+			want: "malformed seat ID",
+		},
+		{
+			name: "truncated leave",
+			raw:  []byte{byte(KindLeave), 2, 0, 0, 0, 1, 0},
+			want: "",
+		},
+		{
+			name: "leave with trailing bytes",
+			raw:  []byte{byte(KindLeave), 8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0},
+			want: "",
+		},
+		{
+			// The hostile task index is rejected on read; the params block
+			// that would follow is never reached, let alone allocated.
+			name: "catch-up task position out of range",
+			raw:  []byte{byte(KindCatchup), 7, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0},
+			want: "catch-up position",
+		},
+		{
+			// seen = 2^35 as a uvarint: beyond any seat's possible progress.
+			name: "catch-up resume round out of range",
+			raw: []byte{byte(KindCatchup), 12, 0, 0, 0, 0, 0, 0, 0,
+				0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 0, 0},
+			want: "catch-up position",
+		},
+	}
+	for _, c := range cases {
+		_, err := Decode(bytes.NewReader(c.raw))
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
 	}
 }
 
@@ -354,7 +433,11 @@ func FuzzDecode(f *testing.F) {
 		&GlobalModel{Params: append(make([]float32, 60), 2.5)}, // auto-sparse form
 		&RoundEnd{ClientID: 2, EvalAccs: []float64{0.1, 0.9}},
 		&helloMsg{clientID: 1, fingerprint: 2, rejoin: true, lastVersion: 5},
+		&helloMsg{fingerprint: 3, join: true, lastVersion: 9},
+		&helloMsg{clientID: 6}, // seat-assignment reply
+		&Leave{ClientID: 4},
 		&Catchup{TaskIdx: 1, Seen: 2, Version: 3, TaskFinal: true, Params: []float32{1, 0, 0, 2}},
+		&Catchup{TaskIdx: 0, Seen: 0, Version: 1, TaskDone: true},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer
@@ -372,7 +455,9 @@ func FuzzDecode(f *testing.F) {
 		f.Add(buf.Bytes())
 	}
 	f.Add([]byte{byte(KindUpdate), 0xFF, 0xFF, 0, 0})
-	f.Add([]byte{byte(KindGlobalModel), 7, 0, 0, 0, 0x04, 10, 2, 1, 1}) // truncated sparse
+	f.Add([]byte{byte(KindGlobalModel), 7, 0, 0, 0, 0x04, 10, 2, 1, 1})       // truncated sparse
+	f.Add([]byte{byte(KindLeave), 4, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})        // out-of-range seat
+	f.Add([]byte{byte(KindCatchup), 7, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0}) // hostile position
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		m, err := Decode(bytes.NewReader(raw))
 		if err != nil {

@@ -231,7 +231,7 @@ func (cfg Config) Fingerprint(extra ...string) uint64 {
 	const (
 		offset64      = 14695981039346656037 // FNV-1a
 		prime64       = 1099511628211
-		formatVersion = 4 // v4: rejoin hello + catch-up frames (wire-path rejoin)
+		formatVersion = 5 // v5: elastic membership (join hello variant + leave frame)
 	)
 	h := uint64(offset64)
 	mix := func(v uint64) {

@@ -6,9 +6,10 @@ import "repro/internal/tensor"
 type Kind byte
 
 // Message kinds. KindHello is a transport-level frame used only during wire
-// connection setup (client identification, fresh or rejoining); KindCatchup
-// is the server's reply to a rejoin hello; the remaining four are the
-// §III-A round lifecycle.
+// connection setup (client identification: fresh, rejoining, or joining —
+// and, since v5, the server's seat-assignment reply to a join); KindCatchup
+// is the server's reply to a rejoin or join hello; KindLeave retires a seat
+// cleanly; the remaining four are the §III-A round lifecycle.
 const (
 	KindHello       Kind = 0
 	KindRoundStart  Kind = 1
@@ -16,6 +17,7 @@ const (
 	KindGlobalModel Kind = 3
 	KindRoundEnd    Kind = 4
 	KindCatchup     Kind = 5
+	KindLeave       Kind = 6
 )
 
 // Msg is one typed protocol message. The concrete types are RoundStart,
@@ -132,10 +134,12 @@ type RoundEnd struct {
 // Kind identifies the message type.
 func (*RoundEnd) Kind() Kind { return KindRoundEnd }
 
-// Catchup (server → client) is the reply to a rejoin hello: everything a
-// client that dropped mid-run needs to splice back into the asynchronous
-// round lifecycle without losing its local training state. The server sends
-// it once, on the fresh connection, before the normal message flow resumes.
+// Catchup (server → client) is the reply to a rejoin or join hello:
+// everything a client splicing into the asynchronous round lifecycle needs —
+// a rejoiner keeps its local training state, a joiner starts from the
+// current committed global. The server sends it once, on the fresh
+// connection (for a join, right after the seat-assignment hello), before the
+// normal message flow resumes.
 type Catchup struct {
 	// TaskIdx is the task currently being scheduled — the rejoining client
 	// may have missed task boundaries (and their RoundStart announcements)
@@ -167,3 +171,20 @@ type Catchup struct {
 
 // Kind identifies the message type.
 func (*Catchup) Kind() Kind { return KindCatchup }
+
+// Leave (client → server) retires a seat cleanly: the client is done
+// federating and will send nothing further. Unlike a transport failure —
+// which the asynchronous scheduler treats as an eviction (logged, counted,
+// recorded in Result.DeadAfter) — a leave is a normal membership event: the
+// seat's books close, its folded-but-uncommitted updates stand, the commit
+// weighting renormalizes over the remaining live set at the next commit,
+// and nothing is recorded as dead. The seat ID is never reused, so the
+// departed client may later rejoin it with the v4 rejoin handshake.
+type Leave struct {
+	// ClientID is the departing seat; it must match the link it arrives on
+	// (the same anti-impersonation check every Update carries).
+	ClientID int
+}
+
+// Kind identifies the message type.
+func (*Leave) Kind() Kind { return KindLeave }

@@ -71,7 +71,27 @@ func (c *Client) RunReconnect(ctx context.Context, rc Reconnect) error {
 	if err != nil {
 		return err
 	}
-	err = c.Run(ctx, t)
+	return c.reconnectLoop(ctx, rc, c.Run(ctx, t))
+}
+
+// ResumeReconnect is RunReconnect for a client that already holds a live
+// transport and a Catchup positioning it — the join flow: DialJoinWith
+// enrolled the seat (the seat ID had to be known before the Client could be
+// built), and the client continues the async lifecycle from the catch-up,
+// rejoining the assigned seat through the ordinary rejoin handshake if the
+// connection later drops.
+func (c *Client) ResumeReconnect(ctx context.Context, rc Reconnect, t Transport, cu *Catchup) error {
+	if c.cfg.Scheduler != SchedulerAsync {
+		return fmt.Errorf("fed: client %d: reconnect requires the async scheduler (lockstep evicts or aborts; there is no rejoin splice point)", c.ctx.ID)
+	}
+	return c.reconnectLoop(ctx, rc, c.resume(ctx, t, cu))
+}
+
+// reconnectLoop is the shared retry loop of RunReconnect and
+// ResumeReconnect: given the first session's outcome, keep rejoining and
+// resuming until the task sequence finishes or the failure stops being
+// retryable.
+func (c *Client) reconnectLoop(ctx context.Context, rc Reconnect, err error) error {
 	for {
 		switch {
 		case c.finished:

@@ -620,3 +620,105 @@ func TestServerCrashRestartRecovers(t *testing.T) {
 		t.Fatalf("measured traffic %d/%d, want non-zero including the pre-crash carry", sent, recv)
 	}
 }
+
+// TestRobustRestartDropsWindowLoudly pins the honest failure mode of the
+// crash-only contract under a robust rule: a buffered aggregator (median and
+// friends) cannot export an open commit window as partial sums, so a cut
+// taken mid-window carries only the window's accounting. On restart those
+// folded-but-uncommitted uploads are gone — the restored server must say so
+// in the log AND count them in Server.DroppedWindowUploads, never silently
+// absorb the loss. The run itself still completes: the rejoined client's
+// remaining quota closes the restarted (empty) window.
+func TestRobustRestartDropsWindowLoudly(t *testing.T) {
+	logf, _ := watchLogs()
+	cfg := ServerConfig{
+		Method: "test", NumTasks: 1, Rounds: 3, Scheduler: SchedulerAsync,
+		Async:  AsyncConfig{CommitEvery: 3},
+		Robust: "median",
+		Logf:   logf,
+	}
+	sink := &memSink{}
+	s0, c0 := LoopbackCap(64)
+	srv := NewServer(cfg, nil, []Transport{s0})
+	srv.SetSnapshots(sink)
+	ctx, crash := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		done <- err
+	}()
+
+	recvRoundStart(t, c0)
+	sendUpdate(t, c0, 0, 0, 10)
+	sendUpdate(t, c0, 0, 0, 20)
+	// Two of the window's three updates are folded — buffered inside the
+	// robust rule, with only their count in the cut — when the crash hits.
+	snap := sink.waitFor(t, "open window holding 2 updates", func(s *checkpoint.ServerSnapshot) bool {
+		return s.WindowCount == 2
+	})
+	crash()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("crashed run returned %v, want context.Canceled", err)
+	}
+	c0.Close()
+
+	if snap.Version != 0 || snap.WindowCount != 2 || len(snap.WindowIdx) != 0 || len(snap.WindowVals) != 0 {
+		t.Fatalf("mid-window robust cut %+v, want v0 with count 2 and no partial sums "+
+			"(buffered rules cannot export an open window)", &snap)
+	}
+	if snap.Seats[0].Seen != 2 {
+		t.Fatalf("cut says seat 0 delivered %d uploads, want the authoritative 2", snap.Seats[0].Seen)
+	}
+
+	logf2, waitLog2 := watchLogs()
+	cfg.Logf = logf2
+	srv2, err := NewServerFromSnapshot(cfg, nil, &snap)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	rejoins := make(chan RejoinRequest, 1)
+	srv2.SetRejoins(rejoins)
+	done2 := make(chan *Result, 1)
+	go func() {
+		res, err := srv2.Run(context.Background())
+		if err != nil {
+			t.Errorf("restored run: %v", err)
+		}
+		done2 <- res
+	}()
+	// The drop must be loud: one log line naming the rule and the count...
+	waitLog2(t, "cannot restore an open commit window; dropping 2 buffered uploads")
+
+	sR, cR := LoopbackCap(64)
+	rejoins <- RejoinRequest{ClientID: 0, LastVersion: 0, Link: sR}
+	cu := recvCatchup(t, cR)
+	if cu.TaskIdx != 0 || cu.Seen != 2 {
+		t.Fatalf("catch-up %+v, want task 0 with the cut's 2 uploads still credited", cu)
+	}
+	// ...and the client retrains nothing: its one remaining upload closes
+	// the restarted window, so the commit is the median of that upload alone.
+	sendUpdate(t, cR, 0, 0, 42)
+	if gm := recvGlobal(t, cR); gm.Version != 1 || gm.Params[0] != 42 {
+		t.Fatalf("post-restart commit v%d %v, want v1 [42] — the dropped folds must not leak in",
+			gm.Version, gm.Params)
+	}
+	if f := recvGlobal(t, cR); !f.TaskFinal {
+		t.Fatalf("quota complete, want the task-final broadcast, got %+v", f)
+	}
+	cR.Send(&RoundEnd{ClientID: 0, EvalAccs: []float64{0.9}})
+
+	res := <-done2
+	// ...and countable after the fact, for operators and CI alike.
+	if got := srv2.DroppedWindowUploads(); got != 2 {
+		t.Fatalf("DroppedWindowUploads() = %d, want the 2 buffered uploads the cut could not carry", got)
+	}
+	if srv.DroppedWindowUploads() != 0 {
+		t.Fatalf("the crashed server counted %d dropped uploads, want 0 (it never restored)",
+			srv.DroppedWindowUploads())
+	}
+	if len(res.PerTask) != 1 || res.Matrix.Get(0, 0) != 0.9 {
+		t.Fatalf("restored run books: %+v, matrix %v — the run must still complete",
+			res.PerTask, res.Matrix.Get(0, 0))
+	}
+	cR.Close()
+}

@@ -155,7 +155,7 @@ func TestSyncServerRejectsNonFinite(t *testing.T) {
 				i, r.Participants, r.NonFinite)
 		}
 	}
-	nonFinite, stale, evicted := srv.Rejections()
+	nonFinite, stale, evicted, _ := srv.Rejections()
 	if nonFinite != 2 || stale != 0 || evicted != 0 {
 		t.Fatalf("Rejections() = %d/%d/%d, want 2/0/0", nonFinite, stale, evicted)
 	}
@@ -261,7 +261,7 @@ func TestAsyncServerRejectsNonFinite(t *testing.T) {
 	if participants != 3 || nonFinite != 1 {
 		t.Fatalf("folded %d with %d non-finite rejections, want 3 and 1", participants, nonFinite)
 	}
-	nf, stale, evicted := srv.Rejections()
+	nf, stale, evicted, _ := srv.Rejections()
 	if nf != 1 || stale != 0 || evicted != 0 {
 		t.Fatalf("Rejections() = %d/%d/%d, want 1/0/0", nf, stale, evicted)
 	}

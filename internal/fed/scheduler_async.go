@@ -73,8 +73,13 @@ type AsyncScheduler struct {
 	events  chan schedEvent
 	gens    []int // per-seat link generation, bumped by each rejoin
 	rejoins <-chan RejoinRequest
+	joins   <-chan JoinRequest
 	stop    chan struct{}
 	readers sync.WaitGroup
+
+	// maxCohort caps the seat book under elastic membership; joins beyond it
+	// are refused (ServerConfig.MaxCohort, resolved in NewServer).
+	maxCohort int
 
 	// Per-client simulated clocks: each client accumulates its own compute
 	// and communication time instead of being bound by the round's slowest
@@ -107,6 +112,12 @@ type AsyncScheduler struct {
 
 	staleTotal int // cumulative staleness rejections over the run
 
+	// droppedWindow counts buffered uploads discarded at restart because a
+	// buffered (robust) aggregator could not export its open commit window
+	// into the snapshot — training lost to the model, surfaced loudly by
+	// Server.DroppedWindowUploads so operators and tests see the cost.
+	droppedWindow int
+
 	// Restart recovery (restoreSnapshot). expect[i] marks a seat that was
 	// alive at the snapshot cut and has not rejoined yet: the restored task
 	// does not close — and an empty cohort is not "all clients lost" —
@@ -136,10 +147,11 @@ func newAsyncScheduler(cfg ServerConfig) *AsyncScheduler {
 		}
 	}
 	return &AsyncScheduler{
-		commitK:  k,
-		maxStale: cfg.Async.MaxStaleness,
-		alpha:    cfg.Async.StalenessAlpha,
-		stop:     make(chan struct{}),
+		commitK:   k,
+		maxStale:  cfg.Async.MaxStaleness,
+		alpha:     cfg.Async.StalenessAlpha,
+		maxCohort: cfg.MaxCohort,
+		stop:      make(chan struct{}),
 	}
 }
 
@@ -160,13 +172,19 @@ func (a *AsyncScheduler) Close() {
 }
 
 // start launches one reader goroutine per link and captures the server's
-// rejoin source.
+// rejoin and join sources. The event channel is sized for the cohort cap so
+// seat-book growth never needs to reallocate it.
 func (a *AsyncScheduler) start(s *Server) {
 	a.started = true
 	a.stream = s.stream
-	a.events = make(chan schedEvent, 2*len(s.links)+4)
+	book := a.maxCohort
+	if book < len(s.links) {
+		book = len(s.links)
+	}
+	a.events = make(chan schedEvent, 2*book+4)
 	a.gens = make([]int, len(s.links))
 	a.rejoins = s.rejoins
+	a.joins = s.joins
 	a.clocks = make([]float64, len(s.links))
 	a.commClocks = make([]float64, len(s.links))
 	a.updatesSeen = make([]int, len(s.links))
@@ -269,7 +287,9 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 				// as partial sums, so the cut carried only the window's
 				// accounting: drop the mid-fill state and restart the window
 				// empty. The discarded uploads are already in the Seen counts,
-				// so they are lost to the model, not retrained — log it.
+				// so they are lost to the model, not retrained — log it and
+				// count it (Server.DroppedWindowUploads) so the loss is loud.
+				a.droppedWindow += snap.WindowCount
 				s.logf("fed: async: %s cannot restore an open commit window; dropping %d buffered uploads from the cut",
 					s.agg.Name(), snap.WindowCount)
 				a.resetWindow()
@@ -294,13 +314,20 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	// Collect phase: every alive client owes Rounds uploads — and a restored
 	// task additionally holds the door open for every seat the snapshot cut
 	// recorded as alive, until each has rejoined (or the context gives up).
+	// The seat book is elastic here: a join admitted mid-collect owes the
+	// task's full Rounds uploads from zero, a Leave retires its seat and the
+	// remaining live set carries the task.
 	for !a.allUploaded(s) || a.expecting() {
-		ev, rq, err := a.nextEvent(ctx)
+		ev, rq, jq, err := a.nextEvent(ctx)
 		if err != nil {
 			return err
 		}
 		if rq != nil {
 			a.readmit(s, res, taskIdx, rq, nil, nil)
+			continue
+		}
+		if jq != nil {
+			a.admitJoin(s, taskIdx, jq, nil, nil)
 			continue
 		}
 		if !a.current(s, ev) {
@@ -311,6 +338,14 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			if s.AliveClients() == 0 && !a.expecting() {
 				return fmt.Errorf("fed: async: all clients lost at task %d", taskIdx)
 			}
+			continue
+		}
+		if lv, ok := ev.msg.(*Leave); ok {
+			if lv.ClientID != ev.id {
+				return fmt.Errorf("fed: link %d sent leave claiming client %d", ev.id, lv.ClientID)
+			}
+			s.retire(taskIdx, ev.id)
+			ev.ack <- struct{}{}
 			continue
 		}
 		u, ok := ev.msg.(*Update)
@@ -350,12 +385,20 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	reported := make([]bool, len(s.links))
 	pending := s.AliveClients()
 	for pending > 0 {
-		ev, rq, err := a.nextEvent(ctx)
+		ev, rq, jq, err := a.nextEvent(ctx)
 		if err != nil {
 			return err
 		}
 		if rq != nil {
 			a.readmit(s, res, taskIdx, rq, reported, &pending)
+			continue
+		}
+		if jq != nil {
+			// A finish-phase joiner never trained this task, so it owes no
+			// RoundEnd: its catch-up says TaskDone (wait for the next task's
+			// RoundStart) and its fresh reported slot is pre-marked so a
+			// subsequent eviction does not decrement pending for it.
+			a.admitJoin(s, taskIdx, jq, &reported, &pending)
 			continue
 		}
 		if !a.current(s, ev) {
@@ -366,6 +409,17 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 			if !reported[ev.id] {
 				pending--
 			}
+			continue
+		}
+		if lv, ok := ev.msg.(*Leave); ok {
+			if lv.ClientID != ev.id {
+				return fmt.Errorf("fed: link %d sent leave claiming client %d", ev.id, lv.ClientID)
+			}
+			s.retire(taskIdx, ev.id)
+			if !reported[ev.id] {
+				pending--
+			}
+			ev.ack <- struct{}{}
 			continue
 		}
 		re, ok := ev.msg.(*RoundEnd)
@@ -388,17 +442,20 @@ func (a *AsyncScheduler) RunTask(ctx context.Context, s *Server, taskIdx int, re
 	return nil
 }
 
-// nextEvent waits for the next reader delivery, rejoin handshake, or
-// cancellation. Exactly one of the returns is set; the rejoin channel is
-// nil (never selected) when the server was given no rejoin source.
-func (a *AsyncScheduler) nextEvent(ctx context.Context) (schedEvent, *RejoinRequest, error) {
+// nextEvent waits for the next reader delivery, rejoin handshake, join
+// handshake, or cancellation. Exactly one of the returns is set; the rejoin
+// and join channels are nil (never selected) when the server was given no
+// such source.
+func (a *AsyncScheduler) nextEvent(ctx context.Context) (schedEvent, *RejoinRequest, *JoinRequest, error) {
 	select {
 	case <-ctx.Done():
-		return schedEvent{}, nil, ctx.Err()
+		return schedEvent{}, nil, nil, ctx.Err()
 	case ev := <-a.events:
-		return ev, nil, nil
+		return ev, nil, nil, nil
 	case rq := <-a.rejoins:
-		return schedEvent{}, &rq, nil
+		return schedEvent{}, &rq, nil, nil
+	case jq := <-a.joins:
+		return schedEvent{}, nil, &jq, nil
 	}
 }
 
@@ -436,11 +493,13 @@ func (a *AsyncScheduler) current(s *Server, ev schedEvent) bool {
 func (a *AsyncScheduler) readmit(s *Server, res *Result, taskIdx int, rq *RejoinRequest, reported []bool, pending *int) {
 	id := rq.ClientID
 	if id < 0 || id >= len(s.links) {
+		s.refusedTotal++
 		s.logf("fed: async: refused rejoin for unknown client %d", id)
 		rq.Link.Close()
 		return
 	}
 	if s.alive[id] {
+		s.refusedTotal++
 		s.logf("fed: async: refused rejoin for client %d: seat is still alive", id)
 		rq.Link.Close()
 		return
@@ -470,6 +529,7 @@ func (a *AsyncScheduler) readmit(s *Server, res *Result, taskIdx int, rq *Rejoin
 	s.links[id] = rq.Link
 	s.trafficMu.Unlock()
 	s.alive[id] = true
+	s.left[id] = false // a retired seat rejoining reopens its books
 	delete(res.DeadAfter, id)
 	if reported != nil && !reported[id] {
 		*pending++
@@ -480,6 +540,64 @@ func (a *AsyncScheduler) readmit(s *Server, res *Result, taskIdx int, rq *Rejoin
 	a.startReader(id, rq.Link)
 	s.logf("fed: async: client %d rejoined at task %d (catch-up v%d, %d/%d uploads in)",
 		id, taskIdx, s.version, a.updatesSeen[id], s.cfg.Rounds)
+}
+
+// admitJoin grows the seat book for one validated join handshake (v5). The
+// new seat's ID is the next free index; the fresh link first carries the
+// seat-assignment hello, then a phase-aware Catchup: during the collect
+// phase the joiner starts the current task from zero uploads against the
+// current committed global; during the finish phase (reported non-nil) it is
+// told TaskDone — the task closed without it, wait for the next RoundStart.
+// A join beyond MaxCohort is refused — counted in Server.Rejections, logged
+// — by closing the link; a send failure during the reply likewise abandons
+// the handshake before any book state is allocated, so the seat ID is not
+// burned. Announce (RoundStart) is deliberately not replayed: the Catchup
+// carries the task position, which is all the async client lifecycle needs.
+func (a *AsyncScheduler) admitJoin(s *Server, taskIdx int, jq *JoinRequest, reported *[]bool, pending *int) {
+	if len(s.links) >= a.maxCohort {
+		s.refusedTotal++
+		s.logf("fed: async: refused join: cohort is at capacity (%d seats, -max-cohort %d)", len(s.links), a.maxCohort)
+		jq.Link.Close()
+		return
+	}
+	id := len(s.links)
+	if err := jq.Link.Send(&helloMsg{clientID: id}); err != nil {
+		s.logf("fed: async: join seat assignment failed: %v", err)
+		jq.Link.Close()
+		return
+	}
+	cu := &Catchup{TaskIdx: taskIdx, Seen: 0, Version: s.version}
+	if s.version > jq.LastVersion {
+		cu.Params = a.global
+	}
+	if reported != nil {
+		cu.TaskDone = true
+	}
+	if err := jq.Link.Send(cu); err != nil {
+		s.logf("fed: async: join catch-up for seat %d failed: %v", id, err)
+		jq.Link.Close()
+		return
+	}
+	s.trafficMu.Lock()
+	s.links = append(s.links, jq.Link)
+	s.trafficMu.Unlock()
+	s.alive = append(s.alive, true)
+	s.offline = append(s.offline, false)
+	s.left = append(s.left, false)
+	s.rows = append(s.rows, nil)
+	a.gens = append(a.gens, 0)
+	a.clocks = append(a.clocks, 0)
+	a.commClocks = append(a.commClocks, 0)
+	a.updatesSeen = append(a.updatesSeen, 0)
+	if a.expect != nil {
+		a.expect = append(a.expect, false)
+	}
+	if reported != nil {
+		*reported = append(*reported, true)
+	}
+	a.startReader(id, jq.Link)
+	s.logf("fed: async: admitted join as seat %d at task %d (cohort now %d/%d, catch-up v%d)",
+		id, taskIdx, len(s.links), a.maxCohort, s.version)
 }
 
 // expecting reports whether any snapshot-restored seat is still awaited:
@@ -678,6 +796,8 @@ func (a *AsyncScheduler) restoreSnapshot(s *Server, snap *checkpoint.ServerSnaps
 		a.commClocks[i] = seat.CommSeconds
 		a.updatesSeen[i] = seat.Seen
 		a.expect[i] = seat.Alive
+		// A cleanly departed seat restores departed: not awaited, not dead.
+		s.left[i] = seat.Left
 	}
 	a.paramLen = snap.ParamLen
 	if len(snap.Global) > 0 {

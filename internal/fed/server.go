@@ -87,6 +87,11 @@ type ServerConfig struct {
 	Method string
 	// NumClients is the federation size; 0 means len(links).
 	NumClients int
+	// MaxCohort caps the seat book under elastic membership: mid-run joins
+	// (the v5 join hello) are admitted until the book holds MaxCohort seats
+	// and refused — counted, logged — beyond it. 0 means NumClients (no
+	// growth). Only the asynchronous scheduler consumes joins.
+	MaxCohort int
 	// NumTasks is the continual-learning task count.
 	NumTasks int
 	// Rounds is the number of aggregation rounds per task (r). Under the
@@ -158,9 +163,11 @@ type Server struct {
 	links   []Transport // index = client ID
 	alive   []bool
 	offline []bool
+	left    []bool // seat retired by a clean Leave (never counted as dead)
 	dropRNG *tensor.RNG
 	obs     RoundObserver
 	rejoins <-chan RejoinRequest
+	joins   <-chan JoinRequest
 
 	// snap, when set, receives a durable state cut at run start, write-ahead
 	// of every commit broadcast, and at every task boundary (SetSnapshots).
@@ -188,12 +195,15 @@ type Server struct {
 	upBytes     int64
 	downBytes   int64
 
-	// nonFiniteTotal / evictTotal are the run's cumulative rejected-input
-	// accounting, surfaced by Rejections and sliced into per-commit deltas
-	// for RoundStats. (Staleness rejections live on the async scheduler,
-	// which persists them across restarts.)
+	// nonFiniteTotal / evictTotal / refusedTotal are the run's cumulative
+	// rejected-input accounting, surfaced by Rejections and sliced into
+	// per-commit deltas for RoundStats. (Staleness rejections live on the
+	// async scheduler, which persists them across restarts.) refusedTotal
+	// counts scheduler-level membership refusals: a rejoin for a live or
+	// unknown seat, or a join beyond MaxCohort.
 	nonFiniteTotal int
 	evictTotal     int
+	refusedTotal   int
 
 	updates []*Update    // per-round scratch (buffered aggregators only)
 	metas   []updateMeta // per-round scratch
@@ -218,6 +228,12 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 	if len(links) != cfg.NumClients {
 		panic(fmt.Sprintf("fed: %d transports for %d clients", len(links), cfg.NumClients))
 	}
+	if cfg.MaxCohort == 0 {
+		cfg.MaxCohort = cfg.NumClients
+	}
+	if cfg.MaxCohort < cfg.NumClients {
+		panic(fmt.Sprintf("fed: MaxCohort %d below the initial cohort of %d", cfg.MaxCohort, cfg.NumClients))
+	}
 	if agg == nil {
 		if cfg.Robust != "" {
 			a, err := ParseAggregator(cfg.Robust, cfg.Shards)
@@ -237,6 +253,7 @@ func NewServer(cfg ServerConfig, agg Aggregator, links []Transport) *Server {
 		links:   links,
 		alive:   make([]bool, cfg.NumClients),
 		offline: make([]bool, cfg.NumClients),
+		left:    make([]bool, cfg.NumClients),
 		dropRNG: tensor.NewRNG(cfg.Seed ^ 0xD209),
 		rows:    make([][]float64, cfg.NumClients),
 	}
@@ -271,6 +288,15 @@ func (s *Server) SetObserver(o RoundObserver) { s.obs = o }
 // progress) and re-admits the seat with a Catchup reply; the synchronous
 // scheduler ignores the channel (lockstep has no mid-round splice point).
 func (s *Server) SetRejoins(ch <-chan RejoinRequest) { s.rejoins = ch }
+
+// SetJoins installs the source of mid-run join handshakes (normally a
+// RejoinAcceptor's Joins channel; tests inject loopback links directly); call
+// before Run. Only the asynchronous scheduler consumes joins — it assigns the
+// next free seat ID, replies with a seat-assignment hello plus a phase-aware
+// Catchup, and grows the seat book, subject to the MaxCohort cap; the
+// synchronous scheduler ignores the channel (a lockstep cohort is fixed at
+// round start).
+func (s *Server) SetJoins(ch <-chan JoinRequest) { s.joins = ch }
 
 // AliveClients reports how many clients have not been evicted.
 func (s *Server) AliveClients() int {
@@ -357,15 +383,49 @@ func (s *Server) evict(res *Result, taskIdx, id int, err error) {
 
 // Rejections reports the run's cumulative rejected-input accounting: updates
 // dropped by ingest hardening (non-finite parameters or weight), updates
-// dropped by the async staleness bound, and clients evicted on transport
-// failure. The same counters reach the RoundObserver as per-commit deltas
-// (RoundStats.NonFinite, .Stale, .Evictions); this accessor is the run-level
-// summary the adversarial matrix legs assert on.
-func (s *Server) Rejections() (nonFinite, stale, evicted int) {
+// dropped by the async staleness bound, clients evicted on transport
+// failure, and membership handshakes the scheduler refused (a rejoin for a
+// live or unknown seat, a join beyond MaxCohort). The first three reach the
+// RoundObserver as per-commit deltas (RoundStats.NonFinite, .Stale,
+// .Evictions); this accessor is the run-level summary the adversarial matrix
+// legs and churn tests assert on. Transport-level refusals — fingerprint or
+// compression mismatches the acceptor closes before the scheduler ever sees
+// a seat — are counted separately by RejoinAcceptor.Refusals.
+func (s *Server) Rejections() (nonFinite, stale, evicted, refused int) {
 	if as, ok := s.sched.(*AsyncScheduler); ok {
 		stale = as.staleTotal
 	}
-	return s.nonFiniteTotal, stale, s.evictTotal
+	return s.nonFiniteTotal, stale, s.evictTotal, s.refusedTotal
+}
+
+// DroppedWindowUploads reports how many buffered uploads a restart discarded
+// because the aggregation rule buffers its commit window (trimmed-mean,
+// median, Krum) and cannot export the open window into a snapshot: the cut
+// carried only the window's accounting, so those uploads are lost to the
+// model — not retrained, since the Seen counts already include them. Always
+// 0 under the synchronous scheduler and under streaming (FedAvg-family)
+// rules, whose open window restores exactly.
+func (s *Server) DroppedWindowUploads() int {
+	if as, ok := s.sched.(*AsyncScheduler); ok {
+		return as.droppedWindow
+	}
+	return 0
+}
+
+// retire closes a seat's books on a clean Leave: the seat goes not-alive and
+// is marked left — excluded from future commits and broadcasts like an
+// evicted seat, but never logged as an eviction, never counted in
+// Result.DeadAfter, and never added to the eviction totals. Its folded
+// contributions stand; the commit weighting renormalizes over the remaining
+// live set automatically (denominators are per-window).
+func (s *Server) retire(taskIdx, id int) {
+	if !s.alive[id] {
+		return
+	}
+	s.alive[id] = false
+	s.left[id] = true
+	s.links[id].Close()
+	s.logf("fed: %s: seat %d retired at task %d (clean leave)", s.sched.Name(), id, taskIdx)
 }
 
 // admitUpdate applies ingest hardening to one decoded update: when

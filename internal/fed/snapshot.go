@@ -84,6 +84,7 @@ func (s *Server) snapshot(res *Result, resumeTask int, boundary bool) {
 	for i := range snap.Seats {
 		rec := &snap.Seats[i]
 		rec.Alive = s.alive[i]
+		rec.Left = s.left[i]
 		if at, dead := res.DeadAfter[i]; dead {
 			rec.Dead = true
 			rec.DeadAtTask = at
@@ -141,12 +142,17 @@ func NewServerFromSnapshot(cfg ServerConfig, agg Aggregator, snap *checkpoint.Se
 	if cfg.Scheduler != SchedulerAsync {
 		return nil, fmt.Errorf("fed: restart recovery requires the async scheduler (lockstep has no rejoin splice point to re-admit the cohort through)")
 	}
-	if cfg.NumClients == 0 {
-		cfg.NumClients = len(snap.Seats)
-	}
-	if cfg.NumClients != len(snap.Seats) {
+	if len(snap.Seats) < cfg.NumClients {
+		// Fewer seats than the configured initial cohort means the snapshot
+		// belongs to a different (smaller) run. More seats is legitimate:
+		// elastic membership grew the book past the initial cohort, and the
+		// restored server must carry every seat it admitted.
 		return nil, fmt.Errorf("fed: snapshot holds %d seats, config says %d clients", len(snap.Seats), cfg.NumClients)
 	}
+	if cfg.MaxCohort != 0 && cfg.MaxCohort < len(snap.Seats) {
+		return nil, fmt.Errorf("fed: snapshot holds %d seats, above -max-cohort %d", len(snap.Seats), cfg.MaxCohort)
+	}
+	cfg.NumClients = len(snap.Seats)
 	if snap.TaskIdx > cfg.NumTasks {
 		return nil, fmt.Errorf("fed: snapshot resumes at task %d of a %d-task run", snap.TaskIdx, cfg.NumTasks)
 	}

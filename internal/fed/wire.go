@@ -176,11 +176,11 @@ func ServeWith(ln net.Listener, numClients int, fingerprint uint64, opts WireOpt
 			conn.Close()
 			return nil, fmt.Errorf("fed: connection %d sent %T before hello", k, msg)
 		}
-		if hello.rejoin {
-			// A rejoin raced the fresh cohort's handshake (a client retrying
-			// from an earlier run, or re-dialing before the acceptor is up):
-			// refuse this connection without failing the cohort — the client
-			// backs off and retries.
+		if hello.rejoin || hello.join {
+			// A rejoin or join raced the fresh cohort's handshake (a client
+			// retrying from an earlier run, or dialing before the acceptor is
+			// up): refuse this connection without failing the cohort — the
+			// client backs off and retries.
 			t.Close()
 			k--
 			continue
@@ -257,6 +257,59 @@ func DialRejoinWith(addr string, id int, fingerprint uint64, lastVersion uint64,
 	return t, nil
 }
 
+// DialJoin enrolls as a fresh seat with default options; see DialJoinWith.
+func DialJoin(addr string, fingerprint uint64) (Transport, int, *Catchup, error) {
+	return DialJoinWith(addr, fingerprint, WireOptions{})
+}
+
+// DialJoinWith enrolls a seatless client into a running federation (v5): it
+// dials the server and sends a join hello — no client ID; the server
+// assigns the seat — carrying the job fingerprint and value encoding. An
+// accepting server (ServeRejoinWith / AcceptRejoins feeding Server.SetJoins)
+// replies with a seat-assignment hello followed by one Catchup positioning
+// the joiner in the current task; both are returned, the Catchup detached
+// from the link's decode scratch, with the assigned seat ID. A refusal —
+// fingerprint or compression mismatch, cohort at -max-cohort capacity, a
+// server not accepting joins — surfaces as the connection closing without a
+// reply. After this handshake the transport is ready for the client's
+// normal async lifecycle; a later drop rejoins the assigned seat with the
+// ordinary v4 rejoin path.
+func DialJoinWith(addr string, fingerprint uint64, opts WireOptions) (Transport, int, *Catchup, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	t := NewWireWith(conn, opts)
+	if err := t.Send(&helloMsg{join: true, fingerprint: fingerprint, quant: opts.Compression.Quant}); err != nil {
+		conn.Close()
+		return nil, 0, nil, err
+	}
+	msg, err := t.Recv()
+	if err != nil {
+		t.Close()
+		return nil, 0, nil, fmt.Errorf("fed: join refused (no seat assignment): %w", err)
+	}
+	assigned, ok := msg.(*helloMsg)
+	if !ok || assigned.rejoin || assigned.join {
+		t.Close()
+		return nil, 0, nil, fmt.Errorf("fed: join got %T, want the seat-assignment hello", msg)
+	}
+	seat := assigned.clientID
+	msg, err = t.Recv()
+	if err != nil {
+		t.Close()
+		return nil, 0, nil, fmt.Errorf("fed: join catch-up for seat %d: %w", seat, err)
+	}
+	cu, ok := msg.(*Catchup)
+	if !ok {
+		t.Close()
+		return nil, 0, nil, fmt.Errorf("fed: join got %T, want *Catchup", msg)
+	}
+	out := *cu
+	out.Params = append([]float32(nil), cu.Params...)
+	return t, seat, &out, nil
+}
+
 // RejoinRequest is one validated rejoin handshake: a dropped client that
 // re-dialed, passed the fingerprint and compression checks, and waits on
 // Link for the server's Catchup reply. The scheduler that consumes it
@@ -274,17 +327,38 @@ type RejoinRequest struct {
 	Link Transport
 }
 
+// JoinRequest is one validated join handshake (v5): a seatless client that
+// dialed mid-run, passed the fingerprint and compression checks, and waits
+// on Link for the server's seat-assignment hello and Catchup reply. The
+// scheduler that consumes it either admits a fresh seat (growing its seat
+// book) or refuses — cohort at -max-cohort capacity — by closing Link.
+type JoinRequest struct {
+	// LastVersion is the joiner's last-installed global version, from the
+	// join hello — 0 for a genuinely fresh client; the catch-up payload is
+	// omitted when the server has nothing newer.
+	LastVersion uint64
+	// Link is the fresh transport, already past the hello.
+	Link Transport
+}
+
 // RejoinAcceptor keeps accepting connections on a listener after the fresh
-// cohort has joined, validating each rejoin hello (fingerprint, value
-// encoding, ID range) and delivering the survivors as RejoinRequests. It is
-// the wire half of churn recovery: pair it with Server.SetRejoins so the
-// asynchronous scheduler can re-admit the seats.
+// cohort has joined, validating each rejoin or join hello (fingerprint,
+// value encoding, ID range) and delivering the survivors as RejoinRequests
+// and JoinRequests. It is the wire half of churn recovery and elastic
+// membership: pair it with Server.SetRejoins (and SetJoins) so the
+// asynchronous scheduler can re-admit and admit seats. Refusals are counted
+// (Refusals) and, with SetLogf, logged with their cause — an unknown seat,
+// a fingerprint mismatch, and a compression mismatch are operationally very
+// different failures and must be distinguishable from the server's logs.
 type RejoinAcceptor struct {
 	ln          net.Listener
-	numClients  int
+	numSeats    int
 	fingerprint uint64
 	opts        WireOptions
 	ch          chan RejoinRequest
+	joins       chan JoinRequest
+	logf        atomic.Pointer[func(string, ...any)]
+	refused     atomic.Int64
 
 	mu       sync.Mutex
 	pending  map[io.Closer]struct{} // connections mid-handshake
@@ -317,12 +391,16 @@ func ServeRejoinWith(ln net.Listener, numClients int, fingerprint uint64, opts W
 // fresh cohort — the restart path: a server restored from a snapshot
 // (NewServerFromSnapshot) has no fresh cohort to accept, because every
 // client already holds local training state and re-admits itself with a
-// rejoin hello. The acceptor owns ln from here on; pair its Rejoins channel
-// with Server.SetRejoins and call Close after the run.
-func AcceptRejoins(ln net.Listener, numClients int, fingerprint uint64, opts WireOptions) *RejoinAcceptor {
+// rejoin hello. numSeats bounds the seat IDs a rejoin may claim — pass the
+// run's -max-cohort (not the initial cohort size) when seats can join
+// mid-run, so a joined-then-dropped seat can come back. The acceptor owns
+// ln from here on; pair its Rejoins (and Joins) channels with
+// Server.SetRejoins (and SetJoins) and call Close after the run.
+func AcceptRejoins(ln net.Listener, numSeats int, fingerprint uint64, opts WireOptions) *RejoinAcceptor {
 	g := &RejoinAcceptor{
-		ln: ln, numClients: numClients, fingerprint: fingerprint, opts: opts,
-		ch:      make(chan RejoinRequest, numClients),
+		ln: ln, numSeats: numSeats, fingerprint: fingerprint, opts: opts,
+		ch:      make(chan RejoinRequest, numSeats),
+		joins:   make(chan JoinRequest, numSeats),
 		pending: make(map[io.Closer]struct{}),
 		stop:    make(chan struct{}), loopDone: make(chan struct{}),
 	}
@@ -333,6 +411,36 @@ func AcceptRejoins(ln net.Listener, numClients int, fingerprint uint64, opts Wir
 // Rejoins is the stream of validated rejoin handshakes; pass it to
 // Server.SetRejoins.
 func (g *RejoinAcceptor) Rejoins() <-chan RejoinRequest { return g.ch }
+
+// Joins is the stream of validated join handshakes; pass it to
+// Server.SetJoins. Joins nobody consumes are refused at Close.
+func (g *RejoinAcceptor) Joins() <-chan JoinRequest { return g.joins }
+
+// SetLogf installs a logger for refused handshakes (nil silences them
+// again). Safe to call while the acceptor is running.
+func (g *RejoinAcceptor) SetLogf(logf func(string, ...any)) {
+	if logf == nil {
+		g.logf.Store(nil)
+		return
+	}
+	g.logf.Store(&logf)
+}
+
+// Refusals reports how many handshakes the acceptor has refused so far —
+// malformed first frames, unknown seats, fingerprint mismatches,
+// compression mismatches. Safe to call from any goroutine; scheduler-level
+// refusals (a rejoin for a live seat, a join beyond -max-cohort) are
+// counted separately in Server.Rejections.
+func (g *RejoinAcceptor) Refusals() int { return int(g.refused.Load()) }
+
+// refuse closes a handshake's transport, counts it, and logs the cause.
+func (g *RejoinAcceptor) refuse(t Transport, format string, args ...any) {
+	t.Close()
+	g.refused.Add(1)
+	if logf := g.logf.Load(); logf != nil {
+		(*logf)("fed: acceptor: refused "+format, args...)
+	}
+}
 
 // Close shuts the acceptor down: the listener closes, in-flight handshakes
 // are severed, and any validated rejoins nobody consumed are closed so
@@ -356,6 +464,8 @@ func (g *RejoinAcceptor) Close() error {
 		select {
 		case rq := <-g.ch:
 			rq.Link.Close()
+		case jq := <-g.joins:
+			jq.Link.Close()
 		default:
 			return err
 		}
@@ -384,9 +494,13 @@ func (g *RejoinAcceptor) loop() {
 	}
 }
 
-// handshake validates one rejoin hello. Anything but a well-formed rejoin
-// from an in-range seat with the right fingerprint and value encoding is
-// refused by closing the connection — the client's retry loop handles it.
+// handshake validates one rejoin or join hello. Anything else — a malformed
+// first frame, an out-of-range seat, a fingerprint or value-encoding
+// mismatch — is refused by closing the connection (the client's retry loop
+// handles it), counted, and logged with its distinct cause: "unknown seat"
+// and "fingerprint mismatch" are different operational failures (a typo'd
+// -client-id versus a process run with different knobs) and must not share
+// a log line.
 func (g *RejoinAcceptor) handshake(conn net.Conn) {
 	defer g.wg.Done()
 	defer func() {
@@ -397,15 +511,36 @@ func (g *RejoinAcceptor) handshake(conn net.Conn) {
 	t := NewWireWith(conn, g.opts)
 	msg, err := t.Recv()
 	if err != nil {
-		t.Close()
+		g.refuse(t, "connection from %s: bad first frame: %v", conn.RemoteAddr(), err)
 		return
 	}
 	hello, ok := msg.(*helloMsg)
-	if !ok || !hello.rejoin ||
-		hello.clientID < 0 || hello.clientID >= g.numClients ||
-		(g.fingerprint != 0 && hello.fingerprint != g.fingerprint) ||
-		hello.quant != g.opts.Compression.Quant {
-		t.Close()
+	switch {
+	case !ok:
+		g.refuse(t, "connection from %s: sent %T before hello", conn.RemoteAddr(), msg)
+		return
+	case !hello.rejoin && !hello.join:
+		g.refuse(t, "fresh hello for seat %d: the cohort is already running (use -reconnect to rejoin or -join to enroll)", hello.clientID)
+		return
+	case g.fingerprint != 0 && hello.fingerprint != g.fingerprint:
+		g.refuse(t, "seat %d: fingerprint mismatch: client %#x, server %#x (different seed/flags?)",
+			hello.clientID, hello.fingerprint, g.fingerprint)
+		return
+	case hello.quant != g.opts.Compression.Quant:
+		g.refuse(t, "seat %d: %s compression, server uses %s (pass the same -compress to every process)",
+			hello.clientID, hello.quant, g.opts.Compression.Quant)
+		return
+	}
+	if hello.join {
+		select {
+		case g.joins <- JoinRequest{LastVersion: hello.lastVersion, Link: t}:
+		case <-g.stop:
+			t.Close()
+		}
+		return
+	}
+	if hello.clientID < 0 || hello.clientID >= g.numSeats {
+		g.refuse(t, "rejoin for unknown seat %d (seat IDs bounded by %d)", hello.clientID, g.numSeats)
 		return
 	}
 	select {
