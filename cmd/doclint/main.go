@@ -1,42 +1,45 @@
-// Command doclint checks that every exported identifier in the given
-// package directories carries a doc comment — the repository's
-// self-contained equivalent of revive's "exported" rule, run in CI next to
-// go vet so the godoc contract on internal/fed and internal/tensor cannot
-// regress.
+// Command doclint is a deprecated alias for the exported-godoc analyzer of
+// the fedlint suite, kept so existing scripts and muscle memory keep
+// working. New invocations should use the suite directly:
 //
-// Usage:
+//	go run ./cmd/fedlint -only exported-godoc [patterns...]
 //
-//	doclint ./internal/fed ./internal/tensor
-//
-// Exits non-zero when any finding is reported.
+// which adds //lint:ignore suppression, position-accurate diagnostics and
+// the rest of the analyzers. The old positional directory arguments are
+// accepted and forwarded as package patterns; exit codes are unchanged
+// (1 findings, 2 analysis error).
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"repro/internal/doclint"
+	"repro/internal/analysis"
 )
 
 func main() {
-	dirs := os.Args[1:]
-	if len(dirs) == 0 {
-		dirs = []string{"./internal/fed", "./internal/tensor"}
+	fmt.Fprintln(os.Stderr, "doclint: deprecated; use: go run ./cmd/fedlint -only exported-godoc")
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/fed", "./internal/tensor"}
 	}
-	bad := 0
-	for _, dir := range dirs {
-		findings, err := doclint.Lint(dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
-			os.Exit(2)
-		}
-		for _, f := range findings {
-			fmt.Printf("%s/%s\n", dir, f)
-			bad++
-		}
+	suite := &analysis.Suite{Analyzers: []*analysis.Analyzer{analysis.ExportedGodoc}}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", bad)
+	diags, err := suite.Run(pkgs, loader.Fset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", len(diags))
 		os.Exit(1)
 	}
 }

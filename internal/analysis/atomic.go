@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicHygiene enforces two concurrency-access disciplines the race
+// detector only checks on the interleavings a given run happens to hit:
+//
+//   - a variable or struct field passed by address to a sync/atomic
+//     function anywhere must be accessed through sync/atomic everywhere —
+//     one plain read next to atomic writers is a data race waiting for a
+//     schedule (type-based atomics like atomic.Int64 are safe by
+//     construction and need no checking);
+//
+//   - a field declared in the same contiguous declaration group as a
+//     sync.Mutex/sync.RWMutex (the Go "mu guards the fields below it"
+//     convention), and actually accessed under that mutex somewhere, must
+//     not be accessed in a function that never locks it. Helpers named
+//     *Locked (the caller-holds-the-lock convention) and constructors
+//     returning the owning struct are exempt; the lock check is per
+//     function body, not flow-sensitive.
+var AtomicHygiene = &Analyzer{
+	Name: "atomic-hygiene",
+	Doc: "sync/atomic variables accessed atomically everywhere; mutex-" +
+		"guarded declaration groups accessed only under their mutex",
+	Run: runAtomicHygiene,
+}
+
+type atomicPass struct {
+	pass *Pass
+	info *types.Info
+
+	// atomicVars: vars whose address reached a sync/atomic call, with the
+	// idents sanctioned by appearing inside such calls.
+	atomicVars map[*types.Var]bool
+	sanctioned map[*ast.Ident]bool
+
+	// guards maps a guarded var to its mutex; owner maps it to the struct
+	// type whose constructors are exempt (nil for package-level groups).
+	guards map[*types.Var]*types.Var
+	owner  map[*types.Var]*types.Named
+
+	// litKeys are composite-literal field keys (initialisation before
+	// publication, not concurrent access).
+	litKeys map[*ast.Ident]bool
+}
+
+func runAtomicHygiene(pass *Pass) error {
+	a := &atomicPass{
+		pass:       pass,
+		info:       pass.Package.Info,
+		atomicVars: map[*types.Var]bool{},
+		sanctioned: map[*ast.Ident]bool{},
+		guards:     map[*types.Var]*types.Var{},
+		owner:      map[*types.Var]*types.Named{},
+		litKeys:    map[*ast.Ident]bool{},
+	}
+	for _, file := range pass.Package.Files {
+		a.collectDecls(file)
+	}
+	for _, file := range pass.Package.Files {
+		a.collectAtomicUses(file)
+	}
+	a.checkAtomic()
+	a.checkGuards()
+	return nil
+}
+
+// collectDecls gathers mutex-guarded declaration groups (struct fields and
+// package-level var blocks) and composite-literal keys.
+func (a *atomicPass) collectDecls(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			a.groupFields(n.Fields.List, a.namedOf(n))
+		case *ast.GenDecl:
+			if n.Tok == token.VAR && n.Lparen.IsValid() {
+				a.groupVarSpecs(n.Specs)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						a.litKeys[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// namedOf resolves the named type a struct literal type belongs to, when
+// it is the body of a package-level type declaration.
+func (a *atomicPass) namedOf(st *ast.StructType) *types.Named {
+	t := a.info.TypeOf(st)
+	if t == nil {
+		return nil
+	}
+	// TypeOf on the StructType yields the unnamed struct; find the named
+	// type by matching underlying identity in the package scope.
+	scope := a.pass.Package.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+			if named, ok := tn.Type().(*types.Named); ok && named.Underlying() == t {
+				return named
+			}
+		}
+	}
+	return nil
+}
+
+// groupFields applies the declaration-group convention to a struct's field
+// list: a mutex field guards the named fields that follow it contiguously
+// (no blank line) until the next mutex or group break.
+func (a *atomicPass) groupFields(fields []*ast.Field, owner *types.Named) {
+	var mutex *types.Var
+	prevEnd := -2
+	for _, f := range fields {
+		start := a.pass.Fset.Position(f.Pos()).Line
+		if f.Doc != nil {
+			start = a.pass.Fset.Position(f.Doc.Pos()).Line
+		}
+		if start > prevEnd+1 {
+			mutex = nil // blank line: the group (and its guard) ends
+		}
+		prevEnd = a.pass.Fset.Position(f.End()).Line
+		if len(f.Names) == 0 {
+			continue
+		}
+		if isMutexType(a.info.TypeOf(f.Type)) {
+			if v, ok := a.info.Defs[f.Names[0]].(*types.Var); ok {
+				mutex = v
+			}
+			continue
+		}
+		if mutex == nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if v, ok := a.info.Defs[name].(*types.Var); ok {
+				a.guards[v] = mutex
+				a.owner[v] = owner
+			}
+		}
+	}
+}
+
+// groupVarSpecs applies the same convention to a parenthesised var block.
+func (a *atomicPass) groupVarSpecs(specs []ast.Spec) {
+	var mutex *types.Var
+	prevEnd := -2
+	for _, spec := range specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		start := a.pass.Fset.Position(vs.Pos()).Line
+		if vs.Doc != nil {
+			start = a.pass.Fset.Position(vs.Doc.Pos()).Line
+		}
+		if start > prevEnd+1 {
+			mutex = nil
+		}
+		prevEnd = a.pass.Fset.Position(vs.End()).Line
+		for _, name := range vs.Names {
+			v, ok := a.info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if isMutexType(v.Type()) {
+				mutex = v
+				continue
+			}
+			if mutex != nil {
+				a.guards[v] = mutex
+			}
+		}
+	}
+}
+
+// isMutexType reports sync.Mutex / sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// collectAtomicUses finds addresses passed to sync/atomic package-level
+// functions and marks both the target variable and the sanctioned idents.
+func (a *atomicPass) collectAtomicUses(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		callee := staticCallee(a.info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // atomic.Int64-style methods are safe by construction
+		}
+		unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || unary.Op != token.AND {
+			return true
+		}
+		id := baseIdent(unary.X)
+		if id == nil {
+			return true
+		}
+		if v, ok := a.info.Uses[id].(*types.Var); ok {
+			a.atomicVars[v] = true
+			a.sanctioned[id] = true
+		}
+		return true
+	})
+}
+
+// baseIdent returns the identifier naming the variable or field an
+// addressable expression refers to (the Sel of a selector, the ident of a
+// plain name).
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// checkAtomic reports every non-atomic access to a variable that is
+// accessed through sync/atomic somewhere.
+func (a *atomicPass) checkAtomic() {
+	for _, file := range a.pass.Package.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || a.sanctioned[id] || a.litKeys[id] {
+				return true
+			}
+			if v, ok := a.info.Uses[id].(*types.Var); ok && a.atomicVars[v] {
+				a.pass.Reportf(id.Pos(), "%s is accessed via sync/atomic elsewhere; this plain access races with the atomic ones", v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// funcScan is one function body's lock set and guarded-field accesses.
+type funcScan struct {
+	decl     *ast.FuncDecl
+	locked   map[*types.Var]bool // mutexes this body locks (coarse, body-level)
+	accesses []fieldAccess
+}
+
+// fieldAccess is one guarded-field access site.
+type fieldAccess struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+// checkGuards confirms declaration-group guards against real lock usage,
+// then reports guarded-field accesses from functions that never lock the
+// guard.
+func (a *atomicPass) checkGuards() {
+	if len(a.guards) == 0 {
+		return
+	}
+	var scans []*funcScan
+	for _, file := range a.pass.Package.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fs := &funcScan{decl: fd, locked: map[*types.Var]bool{}}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "Lock", "RLock", "TryLock", "TryRLock":
+						if id := baseIdent(sel.X); id != nil {
+							if v, ok := a.info.Uses[id].(*types.Var); ok && isMutexType(v.Type()) {
+								fs.locked[v] = true
+							}
+						}
+					}
+				case *ast.Ident:
+					if a.litKeys[n] {
+						return true
+					}
+					if v, ok := a.info.Uses[n].(*types.Var); ok {
+						if _, guarded := a.guards[v]; guarded {
+							fs.accesses = append(fs.accesses, fieldAccess{v, n.Pos()})
+						}
+					}
+				}
+				return true
+			})
+			scans = append(scans, fs)
+		}
+	}
+
+	// A declaration-group guard is only enforced once confirmed: some
+	// access to the field really does happen under its mutex. Purely
+	// positional adjacency with no locked access anywhere is treated as
+	// layout coincidence, not a contract.
+	confirmed := map[*types.Var]bool{}
+	for _, fs := range scans {
+		for _, acc := range fs.accesses {
+			if fs.locked[a.guards[acc.v]] {
+				confirmed[acc.v] = true
+			}
+		}
+	}
+	var diags []fieldAccess
+	for _, fs := range scans {
+		if strings.HasSuffix(fs.decl.Name.Name, "Locked") {
+			continue
+		}
+		for _, acc := range fs.accesses {
+			if !confirmed[acc.v] || fs.locked[a.guards[acc.v]] {
+				continue
+			}
+			if owner := a.owner[acc.v]; owner != nil && a.isConstructorOf(fs.decl, owner) {
+				continue
+			}
+			diags = append(diags, acc)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	for _, d := range diags {
+		a.pass.Reportf(d.pos, "%s is guarded by %s (its declaration group's mutex, held at other access sites) but accessed here without locking it",
+			d.v.Name(), a.guards[d.v].Name())
+	}
+}
+
+// isConstructorOf reports whether fd returns the named struct type (or a
+// pointer to it) — construction before publication needs no lock.
+func (a *atomicPass) isConstructorOf(fd *ast.FuncDecl, owner *types.Named) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := a.info.TypeOf(res.Type)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == owner.Obj() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFedlintClean runs the default suite over the whole module and fails
+// on any finding — the same gate CI applies via cmd/fedlint, enforced from
+// inside go test so a finding cannot land even when CI is skipped. A
+// failure here means new code violated a static contract: fix it, or
+// suppress it with a reasoned //lint:ignore (see package doc).
+func TestFedlintClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	pkgs, err := loader.Load(filepath.Join(root, "..."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := suiteForTest().Run(pkgs, loader.Fset)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// suiteForTest is the default suite; a hook point if the clean gate ever
+// needs to lag a new analyzer's rollout.
+func suiteForTest() *Suite { return DefaultSuite() }
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Determinism verifies the repository's bitwise-reproducibility contract at
+// the source level: no map-range iteration, time.Now, unseeded math/rand,
+// sync.Map iteration, or multi-way channel select may be reachable from a
+// fold/commit/aggregation entry point — the paths the runtime pins with
+// TestEngineDeterministicAcrossParallelism, checked here on every build
+// instead of one seed at a time.
+//
+// Roots are inferred, not listed: every method set implementing an
+// interface named Aggregator or StreamAggregator declared in the analyzed
+// package, plus any function whose doc comment carries a
+// "fedlint:deterministic" marker. Reachability follows statically resolved
+// calls only (a call through an interface value or a function variable is
+// not traced); facts about callee purity cross package boundaries, so a
+// select buried in internal/tensor surfaces at a root in internal/fed.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "no map iteration, time.Now, unseeded math/rand or multi-way select " +
+		"reachable from aggregation fold/commit paths",
+	Run: runDeterminism,
+}
+
+// detMarker in a function's doc comment makes it a determinism root even
+// when it implements no aggregation interface.
+const detMarker = "fedlint:deterministic"
+
+// detSource is one direct nondeterminism source inside a function body.
+type detSource struct {
+	pos  token.Pos
+	what string
+}
+
+// detFact is the exported per-function summary: the nearest reachable
+// nondeterminism source, or none. Positions are pre-resolved because facts
+// outlive the pass that created them.
+type detFact struct {
+	tainted bool
+	pos     token.Position
+	what    string
+	chain   []string // function names from the fact's owner down to the source
+}
+
+// detFunc is one function's local analysis before taint resolution.
+type detFunc struct {
+	obj     *types.Func
+	sources []detSource
+	callees []*types.Func
+}
+
+type detPass struct {
+	pass  *Pass
+	funcs map[*types.Func]*detFunc
+	facts map[*types.Func]detFact
+}
+
+func runDeterminism(pass *Pass) error {
+	d := &detPass{
+		pass:  pass,
+		funcs: map[*types.Func]*detFunc{},
+		facts: map[*types.Func]detFact{},
+	}
+	info := pass.Package.Info
+
+	// Local pass: direct sources and statically resolved call edges, per
+	// declared function (closures attribute to their enclosing declaration).
+	for _, file := range pass.Package.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			df := &detFunc{obj: obj}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if t := info.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							df.sources = append(df.sources, detSource{n.Pos(), "iteration over a map (order is randomized per run)"})
+						}
+					}
+				case *ast.SelectStmt:
+					if len(n.Body.List) >= 2 {
+						df.sources = append(df.sources, detSource{n.Pos(), "select with multiple ready paths (winner depends on goroutine timing)"})
+					}
+				case *ast.CallExpr:
+					callee := staticCallee(info, n)
+					if callee == nil {
+						break
+					}
+					switch {
+					case callee.FullName() == "time.Now":
+						df.sources = append(df.sources, detSource{n.Pos(), "call to time.Now (wall-clock input)"})
+					case callee.FullName() == "(*sync.Map).Range":
+						df.sources = append(df.sources, detSource{n.Pos(), "iteration over a sync.Map (order is unspecified)"})
+					case isGlobalRand(callee):
+						df.sources = append(df.sources, detSource{n.Pos(), "call to the unseeded global math/rand RNG"})
+					default:
+						if sig, ok := callee.Type().(*types.Signature); ok {
+							if recv := sig.Recv(); recv != nil {
+								if _, iface := recv.Type().Underlying().(*types.Interface); iface {
+									break // dynamic dispatch: not traced
+								}
+							}
+						}
+						df.callees = append(df.callees, callee)
+					}
+				}
+				return true
+			})
+			d.funcs[obj] = df
+		}
+	}
+
+	// Resolve and export taint for every declared function, so dependent
+	// packages analyzed later can query it by qualified name.
+	d.resolve()
+	for obj, fact := range d.facts {
+		pass.ExportFact(obj, fact)
+	}
+
+	// Roots: aggregation method sets and explicitly marked functions.
+	roots := d.collectRoots()
+	reported := map[token.Position]bool{}
+	for _, root := range roots {
+		fact := d.taintOf(root)
+		if !fact.tainted || reported[fact.pos] {
+			continue
+		}
+		reported[fact.pos] = true
+		msg := "non-deterministic " + fact.what + " reachable from " + root.Name()
+		if len(fact.chain) > 1 {
+			msg += " (call path: " + joinChain(fact.chain) + ")"
+		}
+		d.pass.reportAt(fact.pos, "%s", msg)
+	}
+	return nil
+}
+
+// resolve computes every local function's transitive nondeterminism by
+// fixpoint iteration in a stable order (recursion cycles without sources
+// stay clean; a function's own sources win over its callees'). Cross-
+// package callees resolve through imported facts, which the loader's
+// dependency ordering guarantees were computed first.
+func (d *detPass) resolve() {
+	order := make([]*types.Func, 0, len(d.funcs))
+	for fn := range d.funcs {
+		order = append(order, fn)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].FullName() < order[j].FullName() })
+	for _, fn := range order {
+		if df := d.funcs[fn]; len(df.sources) > 0 {
+			src := df.sources[0]
+			d.facts[fn] = detFact{tainted: true, pos: d.pass.Fset.Position(src.pos),
+				what: src.what, chain: []string{fn.Name()}}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			if d.facts[fn].tainted {
+				continue
+			}
+			for _, callee := range d.funcs[fn].callees {
+				sub := d.taintOf(callee)
+				if sub.tainted {
+					d.facts[fn] = detFact{tainted: true, pos: sub.pos, what: sub.what,
+						chain: append([]string{fn.Name()}, sub.chain...)}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// taintOf looks up a function's resolved nondeterminism summary: local
+// functions from this pass's fixpoint, anything else from imported facts.
+func (d *detPass) taintOf(fn *types.Func) detFact {
+	if _, local := d.funcs[fn]; local {
+		return d.facts[fn]
+	}
+	if fact, ok := d.pass.ImportFact(fn); ok {
+		if det, ok := fact.(detFact); ok {
+			return det
+		}
+	}
+	return detFact{}
+}
+
+// collectRoots gathers the package's determinism entry points in a stable
+// order: methods implementing a locally declared Aggregator or
+// StreamAggregator interface (non-test types only — mock aggregators in
+// test files are not shipped fold paths), and functions whose doc carries
+// the fedlint:deterministic marker.
+func (d *detPass) collectRoots() []*types.Func {
+	pkg := d.pass.Package
+	var ifaces []*types.Interface
+	for _, name := range []string{"Aggregator", "StreamAggregator"} {
+		if tn, ok := pkg.Pkg.Scope().Lookup(name).(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				ifaces = append(ifaces, iface)
+			}
+		}
+	}
+	rootSet := map[*types.Func]bool{}
+	if len(ifaces) > 0 {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || d.inTestFile(tn.Pos()) {
+				continue
+			}
+			if _, ok := tn.Type().Underlying().(*types.Interface); ok {
+				continue
+			}
+			ptr := types.NewPointer(tn.Type())
+			for _, iface := range ifaces {
+				if !types.Implements(tn.Type(), iface) && !types.Implements(ptr, iface) {
+					continue
+				}
+				for i := 0; i < iface.NumMethods(); i++ {
+					m := iface.Method(i)
+					obj, _, _ := types.LookupFieldOrMethod(ptr, true, pkg.Pkg, m.Name())
+					if f, ok := obj.(*types.Func); ok {
+						rootSet[f] = true
+					}
+				}
+			}
+		}
+	}
+	for obj := range d.funcs {
+		if fd := d.declOf(obj); fd != nil && fd.Doc != nil && containsMarker(fd.Doc.Text()) && !d.inTestFile(obj.Pos()) {
+			rootSet[obj] = true
+		}
+	}
+	roots := make([]*types.Func, 0, len(rootSet))
+	for f := range rootSet {
+		roots = append(roots, f)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	return roots
+}
+
+// declOf finds the FuncDecl for a function object declared in this package.
+func (d *detPass) declOf(obj *types.Func) *ast.FuncDecl {
+	for _, file := range d.pass.Package.Files {
+		if file.Pos() <= obj.Pos() && obj.Pos() < file.End() {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == obj.Pos() {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// inTestFile reports whether pos falls inside one of the package's _test.go
+// files.
+func (d *detPass) inTestFile(pos token.Pos) bool {
+	for f, isTest := range d.pass.Package.TestFile {
+		if isTest && f.Pos() <= pos && pos < f.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// containsMarker reports whether doc text carries the determinism-root
+// marker.
+func containsMarker(doc string) bool {
+	return strings.Contains(doc, detMarker)
+}
+
+// staticCallee resolves a call expression to the function object it
+// invokes, when that is statically known (named function or concrete
+// method). Conversions, built-ins, function values and interface calls
+// return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isGlobalRand reports a call to a package-level math/rand (or v2)
+// function other than the explicit constructors — rand.New(rand.NewSource(
+// seed)) is the seeded, reproducible idiom; rand.Intn is the shared
+// unseeded stream.
+func isGlobalRand(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // methods on a *rand.Rand instance carry their own seed
+	}
+	switch f.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+// joinChain renders a call path for a diagnostic message.
+func joinChain(chain []string) string {
+	return strings.Join(chain, " -> ")
+}

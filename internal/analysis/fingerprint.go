@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FingerprintComplete enforces the job-fingerprint contract: every field of
+// a configuration struct that carries a Fingerprint method — and,
+// recursively, of same-package struct fields nested inside it (AsyncConfig
+// inside Config) — must either be read inside the Fingerprint method body
+// or carry an explicit exemption marker with a reason:
+//
+//	// fingerprint:exempt <why this knob can never change results>
+//
+// The analyzer walks the selector chains the method actually reads
+// (reading a whole sub-struct covers its subtree), so adding a behaviour-
+// changing knob without mixing it into the digest fails the build instead
+// of silently producing two processes that agree on a fingerprint while
+// running different jobs. A marker on a field that Fingerprint does read
+// is reported as contradictory, and a marker without a reason is itself a
+// diagnostic — exactly like a bare //lint:ignore.
+var FingerprintComplete = &Analyzer{
+	Name: "fingerprint-complete",
+	Doc: "every field of a Fingerprint-bearing config struct is mixed into " +
+		"the digest or carries a reasoned fingerprint:exempt marker",
+	Run: runFingerprint,
+}
+
+// exemptMarker tags a config field as deliberately outside the fingerprint.
+const exemptMarker = "fingerprint:exempt"
+
+func runFingerprint(pass *Pass) error {
+	info := pass.Package.Info
+	scope := pass.Package.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		fp := lookupMethod(named, pass.Package.Pkg, "Fingerprint")
+		if fp == nil {
+			continue
+		}
+		decl := funcDeclOf(pass.Package, fp)
+		if decl == nil || decl.Body == nil || decl.Recv == nil || len(decl.Recv.List) == 0 {
+			continue
+		}
+		recv := receiverVar(info, decl)
+		if recv == nil {
+			continue
+		}
+		covered := coveredChains(info, decl, recv)
+		checkFingerprintStruct(pass, tn.Name(), "", named, covered, map[*types.Named]bool{named: true})
+	}
+	return nil
+}
+
+// lookupMethod finds a method by name on T or *T, declared in pkg.
+func lookupMethod(named *types.Named, pkg *types.Package, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pkg, name)
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() != pkg {
+		return nil
+	}
+	return f
+}
+
+// funcDeclOf finds the FuncDecl of a function object in the package's
+// files.
+func funcDeclOf(pkg *Package, obj *types.Func) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		if file.Pos() <= obj.Pos() && obj.Pos() < file.End() {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == obj.Pos() {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverVar resolves the method's receiver variable object.
+func receiverVar(info *types.Info, decl *ast.FuncDecl) *types.Var {
+	names := decl.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil // unnamed receiver: the method reads no fields at all
+	}
+	v, _ := info.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// coveredChains collects the maximal selector chains rooted at the
+// receiver that the Fingerprint body reads, as dotted paths ("Async.
+// CommitEvery"). A chain is recorded once at its full depth: reading
+// cfg.Async.CommitEvery covers that leaf, while reading cfg.Async as a
+// whole covers the entire Async subtree (the path itself is recorded).
+func coveredChains(info *types.Info, decl *ast.FuncDecl, recv *types.Var) map[string]bool {
+	covered := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		chain, ok := chainFromReceiver(info, sel, recv)
+		if !ok {
+			return true // not rooted at the receiver; keep walking inside
+		}
+		covered[strings.Join(chain, ".")] = true
+		return false // the inner selectors are part of this chain
+	})
+	return covered
+}
+
+// chainFromReceiver unwinds a selector expression to ["Async",
+// "CommitEvery"] when its root identifier is the receiver variable and
+// every hop is a field selection (method values on the receiver are not
+// field reads).
+func chainFromReceiver(info *types.Info, sel *ast.SelectorExpr, recv *types.Var) ([]string, bool) {
+	var parts []string
+	cur := ast.Expr(sel)
+	for {
+		switch e := ast.Unparen(cur).(type) {
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[e]; !ok || s.Kind() != types.FieldVal {
+				return nil, false
+			}
+			parts = append([]string{e.Sel.Name}, parts...)
+			cur = e.X
+		case *ast.Ident:
+			if info.Uses[e] == types.Object(recv) {
+				return parts, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// checkFingerprintStruct reports uncovered, unexempted fields of the
+// struct at path prefix, recursing into same-package struct-typed fields.
+func checkFingerprintStruct(pass *Pass, root, prefix string, named *types.Named, covered map[string]bool, seen map[*types.Named]bool) {
+	spec := typeSpecOf(pass.Package, named.Obj())
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded fields are not part of this contract
+		}
+		for _, name := range field.Names {
+			path := name.Name
+			if prefix != "" {
+				path = prefix + "." + name.Name
+			}
+			isCovered := covered[path] || prefixCovered(covered, path)
+			reason, exempt := exemptReason(field)
+			switch {
+			case exempt && reason == "":
+				pass.Reportf(field.Pos(), "%s marker on %s.%s needs a reason", exemptMarker, root, path)
+			case exempt && isCovered:
+				pass.Reportf(field.Pos(), "field %s.%s is marked %s but is mixed into %s.Fingerprint", root, path, exemptMarker, root)
+			case !exempt && !isCovered:
+				// A sub-struct none of whose leaves are read reports per
+				// leaf below, not at the aggregate field.
+				if sub := samePackageStruct(pass, field); sub != nil && !seen[sub] {
+					seen[sub] = true
+					checkFingerprintStruct(pass, root, path, sub, covered, seen)
+					seen[sub] = false
+					continue
+				}
+				pass.Reportf(field.Pos(), "field %s.%s is not mixed into %s.Fingerprint and carries no %s marker", root, path, root, exemptMarker)
+			case !exempt && isCovered && !covered[path]:
+				// Covered only through a prefix read: nothing to check
+				// deeper, the whole subtree went into the digest.
+			case !exempt && covered[path]:
+				// The field itself is read. If it is a sub-struct read
+				// wholesale the subtree is covered; if it has deeper reads
+				// recorded, recurse so unread siblings still surface.
+				if sub := samePackageStruct(pass, field); sub != nil && !seen[sub] && deeperReads(covered, path) {
+					seen[sub] = true
+					checkFingerprintStruct(pass, root, path, sub, covered, seen)
+					seen[sub] = false
+				}
+			}
+		}
+	}
+}
+
+// prefixCovered reports whether some strict prefix of path was read as a
+// whole (covering the subtree path belongs to).
+func prefixCovered(covered map[string]bool, path string) bool {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '.' && covered[path[:i]] {
+			return true
+		}
+	}
+	return false
+}
+
+// deeperReads reports whether any recorded chain descends strictly below
+// path.
+func deeperReads(covered map[string]bool, path string) bool {
+	for c := range covered {
+		if strings.HasPrefix(c, path+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// samePackageStruct resolves a field's type to a named struct declared in
+// the analyzed package, or nil.
+func samePackageStruct(pass *Pass, field *ast.Field) *types.Named {
+	t := pass.Package.Info.TypeOf(field.Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Package.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	if typeSpecOf(pass.Package, named.Obj()) == nil {
+		return nil
+	}
+	return named
+}
+
+// typeSpecOf finds the TypeSpec for a type object declared in the package.
+func typeSpecOf(pkg *Package, obj *types.TypeName) *ast.TypeSpec {
+	for _, file := range pkg.Files {
+		if file.Pos() <= obj.Pos() && obj.Pos() < file.End() {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Pos() == obj.Pos() {
+						return ts
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exemptReason scans a field's doc and line comments for the exemption
+// marker, returning the reason text after it and whether the marker was
+// present at all.
+func exemptReason(field *ast.Field) (reason string, found bool) {
+	scan := func(cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			idx := strings.Index(text, exemptMarker)
+			if idx < 0 {
+				continue
+			}
+			found = true
+			rest := strings.TrimSuffix(text[idx+len(exemptMarker):], "*/")
+			if r := strings.TrimSpace(rest); r != "" && reason == "" {
+				reason = r
+			}
+		}
+	}
+	scan(field.Doc)
+	scan(field.Comment)
+	return reason, found
+}

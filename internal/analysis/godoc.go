@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ExportedGodoc enforces the godoc contract the retired internal/doclint
+// walker pinned: every exported type, function, method, constant and
+// variable in a scoped package must carry a doc comment. A const/var/type
+// group documented at the group level counts as documented (the godoc
+// convention), and methods on unexported types are not part of the
+// package's godoc surface. Test files are exempt.
+var ExportedGodoc = &Analyzer{
+	Name: "exported-godoc",
+	Doc: "exported identifiers must carry doc comments (the stdlib equivalent " +
+		"of revive's \"exported\" rule, absorbed from cmd/doclint)",
+	Run: runExportedGodoc,
+}
+
+func runExportedGodoc(pass *Pass) error {
+	for _, file := range nonTestFiles(pass.Package) {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+					pass.Reportf(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				lintGenDecl(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// lintGenDecl checks a const/var/type declaration: each exported spec needs
+// its own doc comment unless the enclosing group carries one.
+func lintGenDecl(pass *Pass, d *ast.GenDecl) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && !(groupDoc && len(d.Specs) == 1) {
+				pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil {
+					pass.Reportf(s.Pos(), "exported %s %s has no doc comment", declKind(d.Tok), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// funcKind labels a FuncDecl for the finding message.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// exportedRecv reports whether d is a plain function or a method whose
+// receiver type is itself exported.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// declKind labels a GenDecl token for the finding message.
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

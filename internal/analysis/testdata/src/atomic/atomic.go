@@ -1,0 +1,87 @@
+// Package atomic is the fedlint/atomic-hygiene golden corpus: an old-style
+// atomic counter with a plain read, a mutex declaration group with an
+// unlocked access, and every exemption the analyzer grants.
+package atomic
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var counter int64
+
+func bump() { atomic.AddInt64(&counter, 1) }
+
+func peek() int64 {
+	return counter // want "accessed via sync/atomic elsewhere"
+}
+
+// typed uses the type-safe API, which cannot be misused; no diagnostics.
+var typed atomic.Int64
+
+func bumpTyped() { typed.Add(1) }
+
+func peekTyped() int64 { return typed.Load() }
+
+// Box carries a mutex declaration group (mu guards count and size) and a
+// loose field separated by a blank line, which the convention leaves
+// unguarded.
+type Box struct {
+	mu    sync.Mutex
+	count int
+	size  int
+
+	loose int
+}
+
+// NewBox constructs before publication; unlocked writes here are exempt.
+func NewBox() *Box {
+	b := &Box{}
+	b.count = 1
+	return b
+}
+
+// Inc locks; its accesses confirm the declaration-group guard.
+func (b *Box) Inc() {
+	b.mu.Lock()
+	b.count++
+	b.size += 2
+	b.mu.Unlock()
+}
+
+// Peek reads a confirmed-guarded field without the lock.
+func (b *Box) Peek() int {
+	return b.count // want "guarded by mu"
+}
+
+// sizeLocked is a caller-holds-the-lock helper; the name exempts it.
+func (b *Box) sizeLocked() int { return b.size }
+
+// Loose reads the unguarded field; no diagnostic.
+func (b *Box) Loose() int { return b.loose }
+
+// Idle has the mutex-above layout but nobody ever locks, so the guard is
+// never confirmed and the access stays unflagged.
+type Idle struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Get reads Idle's field without a lock anywhere in the package.
+func (i *Idle) Get() int { return i.n }
+
+// Package-level var groups follow the same convention.
+var (
+	tabMu sync.Mutex
+	table []int
+)
+
+func addRow(v int) {
+	tabMu.Lock()
+	table = append(table, v)
+	tabMu.Unlock()
+}
+
+func rowCount() int {
+	return len(table) // want "guarded by tabMu"
+}

@@ -1,0 +1,118 @@
+// Package determinism is the fedlint/determinism golden corpus: one
+// aggregator per nondeterminism source, plus clean shapes that must stay
+// unflagged.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Aggregator mirrors the repository's fold contract; implementing it makes
+// a type's method set a determinism root.
+type Aggregator interface {
+	Name() string
+	Aggregate(xs []float64) float64
+}
+
+// MapAgg folds through a map — the canonical order bug.
+type MapAgg struct{ weights map[string]float64 }
+
+// Name implements Aggregator.
+func (m *MapAgg) Name() string { return "map" }
+
+// Aggregate implements Aggregator.
+func (m *MapAgg) Aggregate(xs []float64) float64 {
+	total := 0.0
+	for _, w := range m.weights { // want "iteration over a map"
+		total += w
+	}
+	return total
+}
+
+// ClockAgg reaches the wall clock two calls deep, checking cross-function
+// taint and the reported call path.
+type ClockAgg struct{}
+
+// Name implements Aggregator.
+func (ClockAgg) Name() string { return "clock" }
+
+// Aggregate implements Aggregator.
+func (ClockAgg) Aggregate(xs []float64) float64 { return skew(xs) }
+
+func skew(xs []float64) float64 {
+	t := time.Now() // want "call to time.Now"
+	return float64(t.Nanosecond()) + float64(len(xs))
+}
+
+// RandAgg draws from the shared unseeded RNG.
+type RandAgg struct{}
+
+// Name implements Aggregator.
+func (RandAgg) Name() string { return "rand" }
+
+// Aggregate implements Aggregator.
+func (RandAgg) Aggregate(xs []float64) float64 {
+	return rand.Float64() + float64(len(xs)) // want "unseeded global math/rand"
+}
+
+// SelectAgg races two ready channels.
+type SelectAgg struct {
+	a, b chan float64
+}
+
+// Name implements Aggregator.
+func (s *SelectAgg) Name() string { return "select" }
+
+// Aggregate implements Aggregator.
+func (s *SelectAgg) Aggregate(xs []float64) float64 {
+	select { // want "select with multiple ready paths"
+	case v := <-s.a:
+		return v
+	case v := <-s.b:
+		return v
+	}
+}
+
+// Replay is not an aggregator, but its marker makes it a root anyway.
+//
+// fedlint:deterministic
+func Replay(hist map[int]float64) float64 {
+	total := 0.0
+	for _, v := range hist { // want "iteration over a map"
+		total += v
+	}
+	return total
+}
+
+// CleanAgg exercises every shape the analyzer must NOT flag: slice
+// iteration, a seeded private RNG, and a single-case blocking select.
+type CleanAgg struct {
+	rng *rand.Rand
+	ch  chan float64
+}
+
+// NewCleanAgg seeds the private RNG — the reproducible idiom.
+func NewCleanAgg(seed int64) *CleanAgg {
+	return &CleanAgg{rng: rand.New(rand.NewSource(seed)), ch: make(chan float64, 1)}
+}
+
+// Name implements Aggregator.
+func (c *CleanAgg) Name() string { return "clean" }
+
+// Aggregate implements Aggregator.
+func (c *CleanAgg) Aggregate(xs []float64) float64 {
+	total := c.rng.Float64()
+	for _, x := range xs {
+		total += x
+	}
+	select {
+	case v := <-c.ch:
+		total += v
+	}
+	return total
+}
+
+// Unrooted touches the clock but is reachable from no aggregator and
+// carries no marker, so it must stay unflagged.
+func Unrooted() int64 { return time.Now().UnixNano() }

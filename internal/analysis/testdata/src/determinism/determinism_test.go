@@ -1,0 +1,13 @@
+package determinism
+
+import "time"
+
+// mockAgg implements Aggregator from a test file; test-file method sets are
+// not shipped fold paths, so its clock read must stay unflagged.
+type mockAgg struct{}
+
+func (mockAgg) Name() string { return "mock" }
+
+func (mockAgg) Aggregate(xs []float64) float64 {
+	return float64(time.Now().Nanosecond()) + float64(len(xs))
+}

@@ -1,0 +1,68 @@
+// Package fingerprint is the fedlint/fingerprint-complete golden corpus: a
+// config struct whose Fingerprint method misses fields in every way the
+// analyzer distinguishes, plus covered shapes that must stay unflagged.
+package fingerprint
+
+import "hash/fnv"
+
+// Sub is nested config read only partially by Fingerprint.
+type Sub struct {
+	Depth int
+	Rate  float64 // want "Config.Sub.Rate is not mixed into Config.Fingerprint"
+}
+
+// Tuning is nested config that Fingerprint digests field by field, fully.
+type Tuning struct {
+	Window  int
+	Horizon int
+}
+
+// Knobs is nested config that Fingerprint hands off wholesale; a whole-
+// struct read covers the subtree, so its fields must stay unflagged.
+type Knobs struct {
+	Alpha float64
+	Beta  float64
+}
+
+// Base is embedded; embedded fields are outside the contract.
+type Base struct {
+	Origin string
+}
+
+// Config is the struct under test.
+type Config struct {
+	Base
+	Name string
+	Seed uint64 // want "Config.Seed is not mixed into Config.Fingerprint"
+	// fingerprint:exempt verbosity never reaches the numerics
+	Debug bool
+	// fingerprint:exempt
+	Cache int // want "needs a reason"
+	// fingerprint:exempt claims to be outside the digest
+	Method string // want "is marked fingerprint:exempt but is mixed"
+	Sub    Sub
+	Whole  Tuning
+	All    Knobs
+}
+
+// Fingerprint digests the covered subset of Config.
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Name))
+	h.Write([]byte(c.Method))
+	h.Write([]byte{byte(c.Sub.Depth)})
+	h.Write([]byte{byte(c.Whole.Window), byte(c.Whole.Horizon)})
+	h.Write(knobBytes(c.All))
+	return h.Sum64()
+}
+
+// knobBytes serialises Knobs for the digest.
+func knobBytes(k Knobs) []byte {
+	return []byte{byte(int(k.Alpha * 16)), byte(int(k.Beta * 16))}
+}
+
+// Plain has no Fingerprint method; nothing in it may be flagged.
+type Plain struct {
+	Anything int
+	AtAll    string
+}

@@ -1,0 +1,39 @@
+// Package godoc is the fedlint/exported-godoc golden corpus.
+package godoc
+
+// Documented carries a doc comment, as required.
+func Documented() {}
+
+func Naked() {} // want "exported function Naked has no doc comment"
+
+// Widget is documented.
+type Widget struct{ n int }
+
+// Grow is a documented method.
+func (w *Widget) Grow() { w.n++ }
+
+func (w *Widget) Shrink() { w.n-- } // want "exported method Shrink has no doc comment"
+
+type Gadget struct{} // want "exported type Gadget has no doc comment"
+
+// The limits of the corpus; a group doc covers every member.
+const (
+	MinSize = 1
+	MaxSize = 64
+)
+
+var (
+	DefaultName = "widget"
+	// want-above "exported var DefaultName has no doc comment"
+
+	// Registry is documented per spec.
+	Registry = map[string]int{}
+)
+
+// hidden is unexported: out of the godoc surface entirely.
+func hidden() {}
+
+// unexp has methods that never need docs.
+type unexp struct{}
+
+func (unexp) Visible() {}

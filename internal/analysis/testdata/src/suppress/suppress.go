@@ -1,0 +1,39 @@
+// Package suppress is the golden corpus for the //lint:ignore machinery,
+// run with the atomic-hygiene analyzer under Strict. It covers a valid
+// suppression, a missing reason, a bad target form, a stale suppression,
+// and a suppression for an analyzer outside the suite (never stale).
+package suppress
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+func peekQuiet() int64 {
+	//lint:ignore fedlint/atomic-hygiene teardown runs after every worker has exited
+	return hits
+}
+
+func peekNoisy() int64 {
+	//lint:ignore fedlint/atomic-hygiene
+	// want-above "needs a reason"
+	return hits // want "accessed via sync/atomic elsewhere"
+}
+
+func peekBare() int64 {
+	//lint:ignore atomic-hygiene target must carry the fedlint/ prefix
+	// want-above "is not of the form fedlint/<analyzer>"
+	return hits // want "accessed via sync/atomic elsewhere"
+}
+
+func clean() int64 {
+	//lint:ignore fedlint/atomic-hygiene nothing left here to excuse
+	// want-above "stale lint:ignore"
+	return 0
+}
+
+func cleanOtherSuite() int64 {
+	//lint:ignore fedlint/determinism judged only when determinism runs
+	return 0
+}

@@ -1,0 +1,50 @@
+// Package wire is the fedlint/wire-exhaustive golden corpus: a Kind
+// enumeration whose constants miss coverage in every way the analyzer
+// distinguishes. KindA is fully covered and must stay unflagged.
+package wire
+
+import "fmt"
+
+// Kind discriminates frame payloads, mirroring the repository's wire enum.
+type Kind uint8
+
+// The frame kinds.
+const (
+	KindA Kind = iota
+	KindB      // want "no case in the decoder's Kind switch"
+	KindC      // want "returned by no message type's Kind method"
+	KindD      // want "has no fixture in a golden test file" "is not seeded in any Fuzz function"
+)
+
+// MsgA is the fully covered message.
+type MsgA struct{ N int }
+
+// Kind implements the frame contract for MsgA.
+func (MsgA) Kind() Kind { return KindA }
+
+// MsgB has a decoder gap but full test coverage.
+type MsgB struct{ S string }
+
+// Kind implements the frame contract for MsgB.
+func (MsgB) Kind() Kind { return KindB }
+
+// MsgD decodes fine but has neither golden fixture nor fuzz seed.
+type MsgD struct{ F float64 }
+
+// Kind implements the frame contract for MsgD.
+func (MsgD) Kind() Kind { return KindD }
+
+// Decode is the switch the analyzer reads coverage from; the default
+// clause must not count as handling a kind.
+func Decode(k Kind) (any, error) {
+	switch k {
+	case KindA:
+		return MsgA{}, nil
+	case KindC:
+		return nil, fmt.Errorf("wire: kind %d is reserved", k)
+	case KindD:
+		return MsgD{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown kind %d", k)
+	}
+}

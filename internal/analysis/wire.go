@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireExhaustive pins the wire-format test contract: every frame-kind
+// constant must be decodable and test-covered, catching the "added kind 7,
+// forgot the golden" class at the source level before the frame ever
+// crosses a socket.
+//
+// The analyzer activates on a package that declares an integer type named
+// Kind together with at least one Kind() method mapping a message type to
+// a kind constant (internal/fed's shape). For every constant of that type
+// it then requires:
+//
+//   - a case in a switch over Kind in non-test code (the decoder switch —
+//     a default clause does not count as handling a kind);
+//   - a message type whose Kind() method returns the constant;
+//   - a composite literal of that message type in a *golden* test file
+//     (the byte-level fixtures);
+//   - a composite literal of that message type inside a Fuzz function
+//     (the decoder fuzz seeds).
+var WireExhaustive = &Analyzer{
+	Name: "wire-exhaustive",
+	Doc: "every frame-kind constant has a decoder case, a golden fixture " +
+		"and a fuzz seed",
+	Run: runWireExhaustive,
+}
+
+func runWireExhaustive(pass *Pass) error {
+	info := pass.Package.Info
+	scope := pass.Package.Pkg.Scope()
+	tn, ok := scope.Lookup("Kind").(*types.TypeName)
+	if !ok || tn.IsAlias() {
+		return nil
+	}
+	basic, ok := tn.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	kindType := tn.Type()
+
+	type kindConst struct {
+		obj *types.Const
+		val constant.Value
+	}
+	var kinds []kindConst
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), kindType) {
+			kinds = append(kinds, kindConst{c, c.Val()})
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		a, _ := constant.Int64Val(kinds[i].val)
+		b, _ := constant.Int64Val(kinds[j].val)
+		return a < b
+	})
+
+	// kindToMsg: which message type's Kind() method returns each constant.
+	// The analyzer only arms when at least one such method exists.
+	kindToMsg := map[string]string{}
+	for _, file := range nonTestFiles(pass.Package) {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Kind" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvName := receiverTypeName(info, fd)
+			if recvName == "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					return true
+				}
+				if tv, ok := info.Types[ret.Results[0]]; ok && tv.Value != nil && types.Identical(tv.Type, kindType) {
+					kindToMsg[tv.Value.ExactString()] = recvName
+				}
+				return true
+			})
+		}
+	}
+	if len(kindToMsg) == 0 {
+		return nil
+	}
+
+	// Switch coverage over non-test code: the union of constants handled
+	// by switches whose tag is of type Kind.
+	switched := map[string]bool{}
+	sawSwitch := false
+	for _, file := range nonTestFiles(pass.Package) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			if t := info.TypeOf(sw.Tag); t == nil || !types.Identical(t, kindType) {
+				return true
+			}
+			sawSwitch = true
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+						switched[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Test-coverage sets: composite-literal types in golden test files and
+	// inside Fuzz functions.
+	golden := map[string]bool{}
+	fuzzed := map[string]bool{}
+	sawGoldenFile, sawFuzzFunc := false, false
+	for _, file := range pass.Package.Files {
+		if !pass.Package.TestFile[file] {
+			continue
+		}
+		pos := pass.Fset.Position(file.Pos())
+		isGolden := strings.Contains(pos.Filename, "golden")
+		if isGolden {
+			sawGoldenFile = true
+			collectLitTypes(info, file, golden)
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			sawFuzzFunc = true
+			collectLitTypes(info, fd.Body, fuzzed)
+		}
+	}
+
+	for _, k := range kinds {
+		key := k.val.ExactString()
+		if sawSwitch && !switched[key] {
+			pass.Reportf(k.obj.Pos(), "frame kind %s has no case in the decoder's Kind switch", k.obj.Name())
+		}
+		msg, ok := kindToMsg[key]
+		if !ok {
+			pass.Reportf(k.obj.Pos(), "frame kind %s is returned by no message type's Kind method", k.obj.Name())
+			continue
+		}
+		switch {
+		case !sawGoldenFile:
+			pass.Reportf(k.obj.Pos(), "frame kind %s (message type %s) has no byte-level fixture: the package has no golden test file", k.obj.Name(), msg)
+		case !golden[msg]:
+			pass.Reportf(k.obj.Pos(), "frame kind %s (message type %s) has no fixture in a golden test file", k.obj.Name(), msg)
+		}
+		switch {
+		case !sawFuzzFunc:
+			pass.Reportf(k.obj.Pos(), "frame kind %s (message type %s) has no fuzz seed: the package has no Fuzz function", k.obj.Name(), msg)
+		case !fuzzed[msg]:
+			pass.Reportf(k.obj.Pos(), "frame kind %s (message type %s) is not seeded in any Fuzz function", k.obj.Name(), msg)
+		}
+	}
+	return nil
+}
+
+// receiverTypeName resolves a method's receiver to its named type's name.
+func receiverTypeName(info *types.Info, fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// collectLitTypes records the named types of every composite literal under
+// root into out.
+func collectLitTypes(info *types.Info, root ast.Node, out map[string]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(lit)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			out[named.Obj().Name()] = true
+		}
+		return true
+	})
+}

@@ -177,14 +177,18 @@ func (h *churnHarness) await(pred func() bool) bool {
 // awaitLog blocks until a server log line contains substr.
 func (h *churnHarness) awaitLog(substr string) bool {
 	seen := 0
-	return h.await(func() bool {
-		for ; seen < len(h.logLines); seen++ {
-			if strings.Contains(h.logLines[seen], substr) {
-				return true
-			}
+	return h.await(func() bool { return h.logMatchLocked(&seen, substr) })
+}
+
+// logMatchLocked scans unseen log lines for substr, advancing *seen; the
+// caller (await's predicate loop) holds h.mu.
+func (h *churnHarness) logMatchLocked(seen *int, substr string) bool {
+	for ; *seen < len(h.logLines); *seen++ {
+		if strings.Contains(h.logLines[*seen], substr) {
+			return true
 		}
-		return false
-	})
+	}
+	return false
 }
 
 // beginHandshake marks a membership handshake as outstanding: a join
@@ -398,6 +402,7 @@ func (p *churnPeer) accConst() float64 { return float64(p.seat%16+1) / 32 }
 func (p *churnPeer) run() error {
 	if p.script.Join {
 		gate := p.script.JoinAfterCommits
+		//lint:ignore fedlint/atomic-hygiene await runs its predicate under h.mu
 		if !p.h.await(func() bool { return p.h.commitCount >= gate }) {
 			return fmt.Errorf("%s: run ended before its join gate of %d commits", p.name, gate)
 		}
@@ -522,6 +527,7 @@ func (p *churnPeer) upload(task int) error {
 // request still unconsumed would foreclose a scripted membership move at
 // random. A timed-out wait proceeds anyway and lets the audit complain.
 func (p *churnPeer) report(task int) error {
+	//lint:ignore fedlint/atomic-hygiene await runs its predicate under h.mu
 	p.h.await(func() bool { return p.h.handshakes == 0 })
 	accs := make([]float64, task+1)
 	for i := range accs {

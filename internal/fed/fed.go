@@ -119,7 +119,12 @@ type Config struct {
 	Bandwidth   float64 // bytes/second per client link
 	MemScale    float64 // sim-bytes → real-bytes multiplier for OOM checks
 	Seed        uint64
-	Parallelism int // concurrent clients; 0 = GOMAXPROCS
+	// Parallelism is the number of concurrent clients; 0 = GOMAXPROCS.
+	// fingerprint:exempt execution width never changes results — the fold
+	// is order-pinned by ascending client ID regardless of worker count
+	// (TestEngineDeterministicAcrossParallelism), so two processes may
+	// legitimately disagree on it and still run the same job.
+	Parallelism int
 	// DropoutProb is the per-round probability that a client goes offline
 	// for that round (skips local training and aggregation) — the failure
 	// injection used to check that FedAvg-style protocols tolerate edge
@@ -209,6 +214,9 @@ type AsyncConfig struct {
 	// other direction. Like Parallelism it never changes results and is
 	// excluded from the job fingerprint; it exists so memory-constrained
 	// hosts (or stress tests) can shrink the queues further.
+	// fingerprint:exempt queue capacity is backpressure, not semantics —
+	// delivery order and fold order are unaffected (see above), so the
+	// digest must not split cohorts over a memory-tuning knob.
 	LoopbackCap int
 }
 

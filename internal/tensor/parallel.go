@@ -94,6 +94,10 @@ func Parallel(n int, fn func(lo, hi int)) {
 	extra := 0
 acquire:
 	for extra < maxW-1 {
+		// The racy token grab only varies the worker count; every kernel
+		// splits work so results are bitwise identical at any width
+		// (TestEngineDeterministicAcrossParallelism pins this).
+		//lint:ignore fedlint/determinism select only picks worker count, results are width-invariant
 		select {
 		case <-ch:
 			extra++
